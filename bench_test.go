@@ -1,0 +1,78 @@
+// Benchmarks regenerating every table and figure of the paper, one
+// testing.B target per artifact (plus ablations). They run the same
+// experiment code as cmd/autobench at a reduced scale so `go test
+// -bench=.` completes quickly; use cmd/autobench for full-scale runs.
+//
+// Each benchmark reports the wall time of the experiment; the experiment
+// text itself (simulated seconds, curves, tables) is what the paper's
+// artifacts correspond to.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale trades fidelity for speed in `go test -bench`; cmd/autobench
+// defaults to 0.0005.
+const benchScale = 0.0002
+
+var (
+	labOnce sync.Once
+	lab     *bench.Lab
+)
+
+// sharedLab memoizes engines, workloads, recommendations and runs across
+// benchmarks, mirroring how the experiments share state in the paper.
+func sharedLab() *bench.Lab {
+	labOnce.Do(func() {
+		lab = bench.NewLab(benchScale, 42)
+		lab.WorkloadSize = 30
+	})
+	return lab
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	l := sharedLab()
+	for i := 0; i < b.N; i++ {
+		out, err := exp.Run(l)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(out) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)  { runExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)  { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+func BenchmarkLowerBounds(b *testing.B) { runExperiment(b, "lowerbounds") }
+func BenchmarkInsertions(b *testing.B)  { runExperiment(b, "insertions") }
+func BenchmarkFamilies(b *testing.B)    { runExperiment(b, "families") }
+func BenchmarkGoals(b *testing.B)       { runExperiment(b, "goals") }
+
+func BenchmarkAblationWhatIf(b *testing.B) { runExperiment(b, "ablation-whatif") }
+func BenchmarkAblationBudget(b *testing.B) { runExperiment(b, "ablation-budget") }
+func BenchmarkAblationDisk(b *testing.B)   { runExperiment(b, "ablation-disk") }

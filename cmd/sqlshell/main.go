@@ -1,0 +1,161 @@
+// Command sqlshell is an interactive SQL shell over the benchmark engine:
+// generate a database, type queries, and see results alongside their
+// simulated cost and chosen plan. Shell commands:
+//
+//	\config P|1C        switch configuration
+//	\explain <query>    show the plan without executing
+//	\insert ...         INSERT INTO t VALUES (...) statements also work
+//	\tables             list tables and row counts
+//	\quit
+//
+// Usage:
+//
+//	sqlshell [-db nref|tpch|tpch-skew] [-scale f] [-seed n]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/val"
+)
+
+func main() {
+	db := flag.String("db", "nref", "database: nref, tpch, or tpch-skew")
+	scale := flag.Float64("scale", 0.0005, "scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	e, err := buildEngine(*db, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s at scale %g, configuration P; \\quit to exit\n", *db, *scale)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("sql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, t := range e.Schema.Tables() {
+				fmt.Printf("  %-24s %9d rows\n", t.Name, e.Heap(t.Name).NumRows())
+			}
+		case strings.HasPrefix(line, `\config `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\config `))
+			var err error
+			switch strings.ToUpper(name) {
+			case "P":
+				_, err = e.ApplyConfig(engine.PConfiguration(e))
+			case "1C":
+				_, err = e.ApplyConfig(engine.OneColumnConfiguration(e))
+			default:
+				err = fmt.Errorf("unknown configuration %q (P or 1C)", name)
+			}
+			report(err)
+		case strings.HasPrefix(line, `\explain `):
+			text := strings.TrimPrefix(line, `\explain `)
+			p, err := e.Prepare(text)
+			if err != nil {
+				report(err)
+				continue
+			}
+			fmt.Print(p.Explain())
+		default:
+			execute(e, line)
+		}
+	}
+}
+
+func buildEngine(db string, scale float64, seed int64) (*engine.Engine, error) {
+	var e *engine.Engine
+	var err error
+	switch db {
+	case "nref":
+		e = engine.New(catalog.NREF(), scale, engine.SystemA())
+		err = datagen.GenerateNREF(e, datagen.NREFOptions{ScaleFactor: scale, Seed: seed})
+	case "tpch":
+		e = engine.New(catalog.TPCH(), scale, engine.SystemA())
+		err = datagen.GenerateTPCH(e, datagen.TPCHOptions{ScaleFactor: scale, Seed: seed})
+	case "tpch-skew":
+		e = engine.New(catalog.TPCH(), scale, engine.SystemA())
+		err = datagen.GenerateTPCH(e, datagen.TPCHOptions{ScaleFactor: scale, Seed: seed, Skew: true, ZipfS: 1})
+	default:
+		return nil, fmt.Errorf("unknown database %q", db)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.CollectStats()
+	if _, err := e.ApplyConfig(engine.PConfiguration(e)); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func execute(e *engine.Engine, text string) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		report(err)
+		return
+	}
+	if ins, ok := stmt.(*sql.InsertStmt); ok {
+		rows := make([]val.Row, len(ins.Rows))
+		for i, r := range ins.Rows {
+			rows[i] = val.Row(r)
+		}
+		m, err := e.InsertRows(ins.Table, rows)
+		if err != nil {
+			report(err)
+			return
+		}
+		fmt.Printf("inserted %d rows (%.3fs simulated)\n", len(ins.Rows), m.Seconds)
+		return
+	}
+	res, m, err := e.Run(text, 1800)
+	if err != nil {
+		report(err)
+		return
+	}
+	if m.TimedOut {
+		fmt.Println("timed out after 1800 simulated seconds")
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	for i, r := range res.Rows {
+		if i == 40 {
+			fmt.Printf("... (%d rows total)\n", len(res.Rows))
+			break
+		}
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.Raw()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("%d rows, %.2f simulated seconds\n", len(res.Rows), m.Seconds)
+}
+
+func report(err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+	} else {
+		fmt.Println("ok")
+	}
+}

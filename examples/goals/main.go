@@ -1,0 +1,85 @@
+// Quality-of-service goals (paper §2.2, Example 2): express a performance
+// goal as a step function over the cumulative frequency curve and test
+// which configurations satisfy it.
+//
+//	go run ./examples/goals
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func main() {
+	const scale = 0.0005
+	e := engine.New(catalog.NREF(), scale, engine.SystemA())
+	if err := datagen.GenerateNREF(e, datagen.NREFOptions{ScaleFactor: scale, Seed: 42}); err != nil {
+		log.Fatal(err)
+	}
+	e.CollectStats()
+	if _, err := e.ApplyConfig(engine.PConfiguration(e)); err != nil {
+		log.Fatal(err)
+	}
+	fam := workload.NREF2J(e.Schema, e, workload.DefaultOptions()).
+		Sample(100, func(s string) float64 {
+			m, _ := e.Estimate(s)
+			return m.Seconds
+		}, 42)
+
+	// The paper's Example 2 goal, plus a stricter SLA.
+	goals := []core.Goal{
+		core.Example2Goal(),
+		{Name: "strict", Steps: []core.GoalStep{
+			{X: 10, Frac: 0.5}, {X: 120, Frac: 0.95},
+		}},
+	}
+
+	var labels []string
+	var curves []core.CFC
+	for _, cfgName := range []string{"P", "1C"} {
+		cfg := engine.PConfiguration(e)
+		if cfgName == "1C" {
+			cfg = engine.OneColumnConfiguration(e)
+		}
+		if _, err := e.ApplyConfig(cfg); err != nil {
+			log.Fatal(err)
+		}
+		ms, err := core.RunWorkload(e, fam.SQLs(), core.DefaultTimeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels = append(labels, cfgName)
+		curves = append(curves, core.NewCFC(ms, core.DefaultTimeout))
+	}
+
+	fmt.Println(core.RenderCurves("NREF2J on the two baseline configurations",
+		labels, curves, 1, core.DefaultTimeout))
+	for _, g := range goals {
+		fmt.Printf("goal %q:\n", g.Name)
+		for _, st := range g.Steps {
+			fmt.Printf("  require %.0f%% of queries under %.0fs\n", st.Frac*100, st.X)
+		}
+		for i, l := range labels {
+			verdict := "NOT satisfied"
+			if g.Satisfied(curves[i]) {
+				verdict = "satisfied"
+			}
+			fmt.Printf("  %-3s %s\n", l, verdict)
+		}
+		fmt.Println()
+	}
+
+	// First-order stochastic dominance, the curve-comparison relation the
+	// paper reads off its figures.
+	if curves[1].Dominates(curves[0]) {
+		fmt.Println("1C's curve first-order stochastically dominates P's.")
+	} else {
+		fmt.Println("neither curve dominates the other (they cross).")
+	}
+}

@@ -1,0 +1,75 @@
+// The biologist scenario (paper §1.1): generate the NREF2J exploratory
+// workload, run it under the initial (P) and a recommended (R)
+// configuration, and print the log-binned response-time histograms with
+// cumulative frequencies — the paper's Figures 1 and 2.
+//
+//	go run ./examples/nref
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/recommender"
+	"repro/internal/workload"
+)
+
+func main() {
+	const scale = 0.0005
+	e := engine.New(catalog.NREF(), scale, engine.SystemA())
+	if err := datagen.GenerateNREF(e, datagen.NREFOptions{ScaleFactor: scale, Seed: 42}); err != nil {
+		log.Fatal(err)
+	}
+	e.CollectStats()
+	if _, err := e.ApplyConfig(engine.PConfiguration(e)); err != nil {
+		log.Fatal(err)
+	}
+
+	// The biologist's 100 exploratory queries, sampled from the NREF2J
+	// family with the distribution of estimated costs preserved.
+	fam := workload.NREF2J(e.Schema, e, workload.DefaultOptions())
+	fmt.Printf("NREF2J family: %d queries (%d before restrictions); running a 100-query sample\n\n",
+		len(fam.Queries), fam.UnrestrictedSize)
+	fam = fam.Sample(100, func(s string) float64 {
+		m, err := e.Estimate(s)
+		if err != nil {
+			return 0
+		}
+		return m.Seconds
+	}, 42)
+
+	// Figure 1: the primary-key-only configuration.
+	msP, err := core.RunWorkload(e, fam.SQLs(), core.DefaultTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.NewHistogram(msP, 1, core.DefaultTimeout, 2).
+		Render("Figure 1 — query execution times on configuration P"))
+
+	// Obtain a recommendation with the 1C-sized storage budget, build it,
+	// and rerun: Figure 2.
+	w := e.NewWhatIf()
+	budget := w.EstimateSize(engine.OneColumnConfiguration(e))
+	rec, err := recommender.New(e, recommender.SystemA()).Recommend(fam.SQLs(), budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.ApplyConfig(rec); err != nil {
+		log.Fatal(err)
+	}
+	msR, err := core.RunWorkload(e, fam.SQLs(), core.DefaultTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.NewHistogram(msR, 1, core.DefaultTimeout, 2).
+		Render("Figure 2 — query execution times on the recommended configuration"))
+
+	cP := core.NewCFC(msP, core.DefaultTimeout)
+	cR := core.NewCFC(msR, core.DefaultTimeout)
+	fmt.Printf("reading the curves at 100s: P completes %.0f%%, R completes %.0f%%\n",
+		100*cP.At(100), 100*cR.At(100))
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyLab builds a fast lab for smoke tests.
+func tinyLab() *Lab {
+	l := NewLab(0.0001, 42)
+	l.WorkloadSize = 12
+	return l
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 20 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	seen := make(map[string]bool)
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Find("fig3"); !ok {
+		t.Error("Find(fig3) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) should fail")
+	}
+}
+
+func TestLabCachesRuns(t *testing.T) {
+	l := tinyLab()
+	ms1, err := l.Run("A", "NREF2J", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := l.Run("A", "NREF2J", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms1) != len(ms2) {
+		t.Fatal("cached run differs in length")
+	}
+	for i := range ms1 {
+		if ms1[i].Seconds != ms2[i].Seconds {
+			t.Fatal("cached run differs")
+		}
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	l := tinyLab()
+	exp, _ := Find("fig3")
+	out, err := exp.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P", "1C", "R", "median", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	l := tinyLab()
+	exp, _ := Find("table1")
+	out, err := exp.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A NREF P", "C SkTH 1C", "Size (GB)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+	// 1C must be bigger than P in every block.
+	if strings.Count(out, "\n") < 14 {
+		t.Errorf("table1 too short:\n%s", out)
+	}
+}
+
+func TestBudgetMatchesPaperRule(t *testing.T) {
+	l := tinyLab()
+	b := l.Budget("A", DBNref)
+	if b <= 0 {
+		t.Fatal("budget must be positive")
+	}
+	// The budget is the estimated 1C-minus-P size; the actual 1C build
+	// should land within a small factor.
+	rep, err := l.BuildReport("A", DBNref, "1C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b) / float64(rep.IndexBytes)
+	if ratio < 0.25 || ratio > 4 {
+		t.Errorf("budget %d vs actual 1C extra %d (ratio %.2f)", b, rep.IndexBytes, ratio)
+	}
+}
+
+func TestRecommendationCapitulationIsCached(t *testing.T) {
+	l := tinyLab()
+	// NREF3J at 12 queries may or may not exceed A's limit; whatever the
+	// outcome, it must be stable across calls.
+	_, err1 := l.Recommendation("A", "NREF3J")
+	_, err2 := l.Recommendation("A", "NREF3J")
+	if (err1 == nil) != (err2 == nil) {
+		t.Errorf("recommendation outcome unstable: %v vs %v", err1, err2)
+	}
+}

@@ -1,0 +1,378 @@
+// Package bench drives the paper's experiments: it assembles engines,
+// databases, workloads, configurations and recommendations, caches
+// intermediate results, and regenerates every table and figure of the
+// evaluation (see DESIGN.md's per-experiment index).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/recommender"
+	"repro/internal/workload"
+)
+
+// Timeout is the per-query simulated timeout (30 minutes, §4.1).
+const Timeout = core.DefaultTimeout
+
+// Lab is the experimental environment. All state is memoized: engines are
+// loaded once per (system, database), workloads sampled once per family,
+// recommendations computed once, and workload runs cached per
+// configuration.
+type Lab struct {
+	// Scale is the data scale factor relative to the paper's databases.
+	Scale float64
+	// WorkloadSize is the per-family sample size (the paper uses 100).
+	WorkloadSize int
+	Seed         int64
+
+	mu        sync.Mutex
+	engines   map[string]*engine.Engine
+	workloads map[string]workload.Family
+	recs      map[string]recResult
+	runs      map[string][]core.Measure
+	builds    map[string]engine.BuildReport
+	current   map[string]string // engine key -> applied config name
+}
+
+type recResult struct {
+	cfg conf.Configuration
+	err error
+}
+
+// NewLab creates a lab at the given scale (e.g. 0.001 for 1/1000-scale
+// databases billed at full scale by the simulated clock).
+func NewLab(scale float64, seed int64) *Lab {
+	return &Lab{
+		Scale:        scale,
+		WorkloadSize: 100,
+		Seed:         seed,
+		engines:      make(map[string]*engine.Engine),
+		workloads:    make(map[string]workload.Family),
+		recs:         make(map[string]recResult),
+		runs:         make(map[string][]core.Measure),
+		builds:       make(map[string]engine.BuildReport),
+		current:      make(map[string]string),
+	}
+}
+
+// Databases and systems.
+const (
+	DBNref = "NREF"
+	DBSkTH = "SkTH"
+	DBUnTH = "UnTH"
+)
+
+func profileOf(sys string) engine.Profile {
+	switch sys {
+	case "A":
+		return engine.SystemA()
+	case "B":
+		return engine.SystemB()
+	case "C":
+		return engine.SystemC()
+	}
+	panic("bench: unknown system " + sys)
+}
+
+func recConfigOf(sys string) recommender.Config {
+	switch sys {
+	case "A":
+		return recommender.SystemA()
+	case "B":
+		return recommender.SystemB()
+	case "C":
+		return recommender.SystemC()
+	}
+	panic("bench: unknown system " + sys)
+}
+
+// Engine returns the loaded engine for a (system, database) pair, with
+// statistics collected and the P configuration applied initially.
+func (l *Lab) Engine(sys, db string) *engine.Engine {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.engineLocked(sys, db)
+}
+
+func (l *Lab) engineLocked(sys, db string) *engine.Engine {
+	key := sys + ":" + db
+	if e, ok := l.engines[key]; ok {
+		return e
+	}
+	var e *engine.Engine
+	switch db {
+	case DBNref:
+		e = engine.New(catalog.NREF(), l.Scale, profileOf(sys))
+		must(datagen.GenerateNREF(e, datagen.NREFOptions{ScaleFactor: l.Scale, Seed: l.Seed}))
+	case DBSkTH:
+		e = engine.New(catalog.TPCH(), l.Scale, profileOf(sys))
+		must(datagen.GenerateTPCH(e, datagen.TPCHOptions{ScaleFactor: l.Scale, Seed: l.Seed, Skew: true, ZipfS: 1}))
+	case DBUnTH:
+		e = engine.New(catalog.TPCH(), l.Scale, profileOf(sys))
+		must(datagen.GenerateTPCH(e, datagen.TPCHOptions{ScaleFactor: l.Scale, Seed: l.Seed}))
+	default:
+		panic("bench: unknown database " + db)
+	}
+	e.CollectStats()
+	rep, err := e.ApplyConfig(engine.PConfiguration(e))
+	must(err)
+	l.current[key] = "P"
+	l.builds[key+":P"] = rep
+	l.engines[key] = e
+	return e
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// dbOfFamily maps family names to their database.
+func dbOfFamily(family string) string {
+	switch family {
+	case "NREF2J", "NREF3J":
+		return DBNref
+	case "SkTH3J", "SkTH3Js":
+		return DBSkTH
+	case "UnTH3J":
+		return DBUnTH
+	}
+	panic("bench: unknown family " + family)
+}
+
+// Workload returns the sampled 100-query workload for the family,
+// stratified by optimizer estimates in the P configuration (the sampling
+// that "preserves the distribution of elapsed times of the larger family",
+// §4.1.1, using estimates as the stratifier).
+func (l *Lab) Workload(sys, family string) workload.Family {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	db := dbOfFamily(family)
+	key := db + ":" + family
+	if f, ok := l.workloads[key]; ok {
+		return f
+	}
+	e := l.engineLocked(sys, db)
+	l.applyLocked(sys, db, "P", conf.Configuration{})
+	fam := generateFamily(family, e, defaultFamilyOptions())
+	fam = fam.Sample(l.WorkloadSize, func(s string) float64 {
+		m, err := e.Estimate(s)
+		if err != nil {
+			return 0
+		}
+		return m.Seconds
+	}, l.Seed)
+	l.workloads[key] = fam
+	return fam
+}
+
+// Budget returns the paper's storage budget: the estimated size difference
+// between 1C and P (§3.2.3).
+func (l *Lab) Budget(sys, db string) int64 {
+	e := l.Engine(sys, db)
+	w := e.NewWhatIf()
+	return w.EstimateSize(engine.OneColumnConfiguration(e))
+}
+
+// Recommendation returns (and caches) the system's recommended
+// configuration for the family, or the recommender's error (System A on
+// NREF3J capitulates; the paper reports no configuration for it).
+func (l *Lab) Recommendation(sys, family string) (conf.Configuration, error) {
+	key := sys + ":" + family
+	l.mu.Lock()
+	if r, ok := l.recs[key]; ok {
+		l.mu.Unlock()
+		return r.cfg, r.err
+	}
+	l.mu.Unlock()
+
+	db := dbOfFamily(family)
+	fam := l.Workload(sys, family)
+	e := l.Engine(sys, db)
+	budget := l.Budget(sys, db)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.applyLocked(sys, db, "P", conf.Configuration{})
+	r := recommender.New(e, recConfigOf(sys))
+	cfg, err := r.Recommend(fam.SQLs(), budget)
+	if err == nil {
+		cfg.Name = fmt.Sprintf("%s %s R", sys, family)
+	}
+	l.recs[key] = recResult{cfg, err}
+	return cfg, err
+}
+
+// Config materializes one of the named configurations for an engine.
+func (l *Lab) Config(sys, db, name string) (conf.Configuration, error) {
+	e := l.Engine(sys, db)
+	switch name {
+	case "P":
+		return engine.PConfiguration(e), nil
+	case "1C":
+		return engine.OneColumnConfiguration(e), nil
+	}
+	// "R:<family>"
+	if fam, ok := strings.CutPrefix(name, "R:"); ok {
+		return l.Recommendation(sys, fam)
+	}
+	return conf.Configuration{}, fmt.Errorf("bench: unknown configuration %q", name)
+}
+
+// applyLocked switches the engine to the named configuration if needed,
+// recording the build report the first time each configuration is built.
+func (l *Lab) applyLocked(sys, db, name string, cfg conf.Configuration) {
+	key := sys + ":" + db
+	e := l.engineLocked(sys, db)
+	bkey := key + ":" + name
+	if l.current[key] == name {
+		return
+	}
+	if name == "P" {
+		cfg = engine.PConfiguration(e)
+	} else if name == "1C" {
+		cfg = engine.OneColumnConfiguration(e)
+	}
+	rep, err := e.ApplyConfig(cfg)
+	must(err)
+	if _, ok := l.builds[bkey]; !ok {
+		l.builds[bkey] = rep
+	}
+	l.current[key] = name
+}
+
+// Run executes the family workload under the named configuration,
+// returning cached per-query measures A(q, C).
+func (l *Lab) Run(sys, family, configName string) ([]core.Measure, error) {
+	db := dbOfFamily(family)
+	key := strings.Join([]string{sys, family, configName}, ":")
+	l.mu.Lock()
+	if ms, ok := l.runs[key]; ok {
+		l.mu.Unlock()
+		return ms, nil
+	}
+	l.mu.Unlock()
+
+	cfg, err := l.Config(sys, db, configName)
+	if err != nil {
+		return nil, err
+	}
+	fam := l.Workload(sys, family)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.applyLocked(sys, db, configName, cfg)
+	ms, err := core.RunWorkload(l.engineLocked(sys, db), fam.SQLs(), Timeout)
+	if err != nil {
+		return nil, err
+	}
+	l.runs[key] = ms
+	return ms, nil
+}
+
+// Estimates returns the optimizer estimates E(q, C) for the family under
+// the named configuration (the engine is switched to it first).
+func (l *Lab) Estimates(sys, family, configName string) ([]core.Measure, error) {
+	db := dbOfFamily(family)
+	cfg, err := l.Config(sys, db, configName)
+	if err != nil {
+		return nil, err
+	}
+	fam := l.Workload(sys, family)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.applyLocked(sys, db, configName, cfg)
+	return core.EstimateWorkload(l.engineLocked(sys, db), fam.SQLs())
+}
+
+// Hypotheticals returns H(q, Ch, P): what-if estimates for the named
+// configuration taken while the system sits in P.
+func (l *Lab) Hypotheticals(sys, family, configName string) ([]core.Measure, error) {
+	db := dbOfFamily(family)
+	cfg, err := l.Config(sys, db, configName)
+	if err != nil {
+		return nil, err
+	}
+	fam := l.Workload(sys, family)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.applyLocked(sys, db, "P", conf.Configuration{})
+	return core.WhatIfWorkload(l.engineLocked(sys, db), fam.SQLs(), cfg)
+}
+
+// CFC builds the cumulative frequency curve for a cached or fresh run.
+func (l *Lab) CFC(sys, family, configName string) (core.CFC, error) {
+	ms, err := l.Run(sys, family, configName)
+	if err != nil {
+		return core.CFC{}, err
+	}
+	return core.NewCFC(ms, Timeout), nil
+}
+
+// BuildReport returns the recorded build report for a configuration,
+// building it if necessary.
+func (l *Lab) BuildReport(sys, db, name string) (engine.BuildReport, error) {
+	cfg, err := l.Config(sys, db, name)
+	if err != nil {
+		return engine.BuildReport{}, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bkey := sys + ":" + db + ":" + name
+	if rep, ok := l.builds[bkey]; ok {
+		return rep, nil
+	}
+	l.applyLocked(sys, db, name, cfg)
+	return l.builds[bkey], nil
+}
+
+// defaultFamilyOptions returns the paper's enumeration restrictions.
+func defaultFamilyOptions() workload.Options { return workload.DefaultOptions() }
+
+// generateFamily enumerates the full (restricted) family for an engine.
+func generateFamily(family string, e *engine.Engine, opts workload.Options) workload.Family {
+	switch family {
+	case "NREF2J":
+		return workload.NREF2J(e.Schema, e, opts)
+	case "NREF3J":
+		return workload.NREF3J(e.Schema, e, opts)
+	case "SkTH3J":
+		return workload.SkTH3J(e.Schema, e, opts)
+	case "SkTH3Js":
+		return workload.SkTH3Js(e.Schema, e, opts)
+	case "UnTH3J":
+		return workload.UnTH3J(e.Schema, e, opts)
+	}
+	panic("bench: unknown family " + family)
+}
+
+// datagenNREFInto loads a fresh NREF instance with the lab's parameters.
+func datagenNREFInto(e *engine.Engine, l *Lab) error {
+	return datagen.GenerateNREF(e, datagen.NREFOptions{ScaleFactor: l.Scale, Seed: l.Seed})
+}
+
+// newRecommender builds the recommender profile for a system name.
+func newRecommender(e *engine.Engine, sys string) *recommender.Recommender {
+	return recommender.New(e, recConfigOf(sys))
+}
+
+// ApplyNamed switches an engine to a named configuration ("P", "1C",
+// "R:<family>"); exposed for debugging and example tooling.
+func (l *Lab) ApplyNamed(sys, db, name string) error {
+	cfg, err := l.Config(sys, db, name)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.applyLocked(sys, db, name, cfg)
+	return nil
+}

@@ -1,0 +1,108 @@
+package catalog
+
+// NREF returns the schema of the Non-redundant REFerence protein database
+// (paper §1.1). Primary keys are as underlined in the paper; domains group
+// the columns the query-family templates may join:
+//
+//	nref    — NREF sequence identifiers
+//	taxon   — taxonomy identifiers
+//	name    — scientific/common names of proteins, species and organisms
+//	length  — sequence lengths
+//	ordinal — per-sequence ordinals
+//
+// The long free-text columns (sequence, lineage is kept indexable because
+// the paper's Example 1 joins on t.lineage) are marked non-indexable.
+func NREF() *Schema {
+	s := NewSchema("nref")
+
+	s.MustAdd(MustTable("protein",
+		[]Column{
+			{Name: "nref_id", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "p_name", Type: TypeString, Domain: "name", Indexable: true, AvgWidth: 24},
+			{Name: "last_updated", Type: TypeInt, Indexable: true},
+			{Name: "sequence", Type: TypeString, Indexable: false, AvgWidth: 320},
+			{Name: "length", Type: TypeInt, Domain: "length", Indexable: true},
+		},
+		[]string{"nref_id"},
+	))
+
+	s.MustAdd(MustTable("source",
+		[]Column{
+			{Name: "nref_id", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "p_id", Type: TypeInt, Indexable: true},
+			{Name: "taxon_id", Type: TypeInt, Domain: "taxon", Indexable: true},
+			{Name: "accession", Type: TypeString, Indexable: true, AvgWidth: 9},
+			{Name: "p_name", Type: TypeString, Domain: "name", Indexable: true, AvgWidth: 24},
+			{Name: "source", Type: TypeString, Indexable: true, AvgWidth: 9},
+		},
+		[]string{"nref_id", "p_id"},
+		ForeignKey{Columns: []string{"nref_id"}, RefTable: "protein", RefColumns: []string{"nref_id"}},
+	))
+
+	s.MustAdd(MustTable("taxonomy",
+		[]Column{
+			{Name: "nref_id", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "taxon_id", Type: TypeInt, Domain: "taxon", Indexable: true},
+			{Name: "lineage", Type: TypeString, Domain: "lineage", Indexable: true, AvgWidth: 48},
+			{Name: "species_name", Type: TypeString, Domain: "name", Indexable: true, AvgWidth: 20},
+			{Name: "common_name", Type: TypeString, Domain: "name", Indexable: true, AvgWidth: 14},
+		},
+		[]string{"nref_id", "taxon_id"},
+		ForeignKey{Columns: []string{"nref_id"}, RefTable: "protein", RefColumns: []string{"nref_id"}},
+	))
+
+	s.MustAdd(MustTable("organism",
+		[]Column{
+			{Name: "nref_id", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "ordinal", Type: TypeInt, Domain: "ordinal", Indexable: true},
+			{Name: "taxon_id", Type: TypeInt, Domain: "taxon", Indexable: true},
+			{Name: "name", Type: TypeString, Domain: "name", Indexable: true, AvgWidth: 18},
+		},
+		[]string{"nref_id", "ordinal"},
+		ForeignKey{Columns: []string{"nref_id"}, RefTable: "protein", RefColumns: []string{"nref_id"}},
+	))
+
+	s.MustAdd(MustTable("neighboring_seq",
+		[]Column{
+			{Name: "nref_id_1", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "ordinal", Type: TypeInt, Domain: "ordinal", Indexable: true},
+			{Name: "nref_id_2", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "taxon_id_2", Type: TypeInt, Domain: "taxon", Indexable: true},
+			{Name: "length_2", Type: TypeInt, Domain: "length", Indexable: true},
+			{Name: "score", Type: TypeFloat, Indexable: true},
+			{Name: "overlap_length", Type: TypeInt, Domain: "length", Indexable: true},
+			{Name: "start_1", Type: TypeInt, Indexable: true},
+			{Name: "start_2", Type: TypeInt, Indexable: true},
+			{Name: "end_1", Type: TypeInt, Indexable: true},
+			{Name: "end_2", Type: TypeInt, Indexable: true},
+		},
+		[]string{"nref_id_1", "ordinal"},
+		ForeignKey{Columns: []string{"nref_id_1"}, RefTable: "protein", RefColumns: []string{"nref_id"}},
+	))
+
+	s.MustAdd(MustTable("identical_seq",
+		[]Column{
+			{Name: "nref_id_1", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "ordinal", Type: TypeInt, Domain: "ordinal", Indexable: true},
+			{Name: "nref_id_2", Type: TypeString, Domain: "nref", Indexable: true, AvgWidth: 11},
+			{Name: "taxon_id", Type: TypeInt, Domain: "taxon", Indexable: true},
+		},
+		[]string{"nref_id_1", "ordinal"},
+		ForeignKey{Columns: []string{"nref_id_1"}, RefTable: "protein", RefColumns: []string{"nref_id"}},
+	))
+
+	return s
+}
+
+// NREFFullScaleRows returns the paper's row count for each NREF table
+// (release 1.34, §1.1). Generators multiply these by a scale factor.
+func NREFFullScaleRows() map[string]int64 {
+	return map[string]int64{
+		"protein":         1_100_000,
+		"source":          3_000_000,
+		"taxonomy":        15_100_000,
+		"organism":        1_200_000,
+		"neighboring_seq": 78_700_000,
+		"identical_seq":   500_000,
+	}
+}

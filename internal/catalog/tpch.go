@@ -1,0 +1,149 @@
+package catalog
+
+// TPCH returns the TPC-H benchmark schema (revision 1.3.0), used by the
+// SkTH3J, SkTH3Js and UnTH3J query families. Domains group the non-key
+// columns that the templates may join (paper §3.2.2): part/supplier brands
+// and names, dates, quantities and prices each form a domain, mirroring the
+// "same broad domain" rule used for NREF.
+//
+// The l_comment/o_comment style free-text columns are modeled but not
+// indexable, matching the paper's restriction to indexable columns.
+func TPCH() *Schema {
+	s := NewSchema("tpch")
+
+	s.MustAdd(MustTable("region",
+		[]Column{
+			{Name: "r_regionkey", Type: TypeInt, Domain: "regionkey", Indexable: true},
+			{Name: "r_name", Type: TypeString, Domain: "geo", Indexable: true, AvgWidth: 7},
+			{Name: "r_comment", Type: TypeString, AvgWidth: 60},
+		},
+		[]string{"r_regionkey"},
+	))
+
+	s.MustAdd(MustTable("nation",
+		[]Column{
+			{Name: "n_nationkey", Type: TypeInt, Domain: "nationkey", Indexable: true},
+			{Name: "n_name", Type: TypeString, Domain: "geo", Indexable: true, AvgWidth: 9},
+			{Name: "n_regionkey", Type: TypeInt, Domain: "regionkey", Indexable: true},
+			{Name: "n_comment", Type: TypeString, AvgWidth: 60},
+		},
+		[]string{"n_nationkey"},
+		ForeignKey{Columns: []string{"n_regionkey"}, RefTable: "region", RefColumns: []string{"r_regionkey"}},
+	))
+
+	s.MustAdd(MustTable("supplier",
+		[]Column{
+			{Name: "s_suppkey", Type: TypeInt, Domain: "suppkey", Indexable: true},
+			{Name: "s_name", Type: TypeString, Domain: "entname", Indexable: true, AvgWidth: 18},
+			{Name: "s_address", Type: TypeString, AvgWidth: 25},
+			{Name: "s_nationkey", Type: TypeInt, Domain: "nationkey", Indexable: true},
+			{Name: "s_phone", Type: TypeString, Domain: "phone", Indexable: true, AvgWidth: 15},
+			{Name: "s_acctbal", Type: TypeFloat, Domain: "money", Indexable: true},
+			{Name: "s_comment", Type: TypeString, AvgWidth: 63},
+		},
+		[]string{"s_suppkey"},
+		ForeignKey{Columns: []string{"s_nationkey"}, RefTable: "nation", RefColumns: []string{"n_nationkey"}},
+	))
+
+	s.MustAdd(MustTable("part",
+		[]Column{
+			{Name: "p_partkey", Type: TypeInt, Domain: "partkey", Indexable: true},
+			{Name: "p_name", Type: TypeString, Domain: "entname", Indexable: true, AvgWidth: 33},
+			{Name: "p_mfgr", Type: TypeString, Domain: "mfgr", Indexable: true, AvgWidth: 14},
+			{Name: "p_brand", Type: TypeString, Domain: "brand", Indexable: true, AvgWidth: 10},
+			{Name: "p_type", Type: TypeString, Domain: "ptype", Indexable: true, AvgWidth: 21},
+			{Name: "p_size", Type: TypeInt, Domain: "size", Indexable: true},
+			{Name: "p_container", Type: TypeString, Domain: "container", Indexable: true, AvgWidth: 8},
+			{Name: "p_retailprice", Type: TypeFloat, Domain: "money", Indexable: true},
+			{Name: "p_comment", Type: TypeString, AvgWidth: 14},
+		},
+		[]string{"p_partkey"},
+	))
+
+	s.MustAdd(MustTable("partsupp",
+		[]Column{
+			{Name: "ps_partkey", Type: TypeInt, Domain: "partkey", Indexable: true},
+			{Name: "ps_suppkey", Type: TypeInt, Domain: "suppkey", Indexable: true},
+			{Name: "ps_availqty", Type: TypeInt, Domain: "qty", Indexable: true},
+			{Name: "ps_supplycost", Type: TypeFloat, Domain: "money", Indexable: true},
+			{Name: "ps_comment", Type: TypeString, AvgWidth: 124},
+		},
+		[]string{"ps_partkey", "ps_suppkey"},
+		ForeignKey{Columns: []string{"ps_partkey"}, RefTable: "part", RefColumns: []string{"p_partkey"}},
+		ForeignKey{Columns: []string{"ps_suppkey"}, RefTable: "supplier", RefColumns: []string{"s_suppkey"}},
+	))
+
+	s.MustAdd(MustTable("customer",
+		[]Column{
+			{Name: "c_custkey", Type: TypeInt, Domain: "custkey", Indexable: true},
+			{Name: "c_name", Type: TypeString, Domain: "entname", Indexable: true, AvgWidth: 18},
+			{Name: "c_address", Type: TypeString, AvgWidth: 25},
+			{Name: "c_nationkey", Type: TypeInt, Domain: "nationkey", Indexable: true},
+			{Name: "c_phone", Type: TypeString, Domain: "phone", Indexable: true, AvgWidth: 15},
+			{Name: "c_acctbal", Type: TypeFloat, Domain: "money", Indexable: true},
+			{Name: "c_mktsegment", Type: TypeString, Domain: "segment", Indexable: true, AvgWidth: 9},
+			{Name: "c_comment", Type: TypeString, AvgWidth: 73},
+		},
+		[]string{"c_custkey"},
+		ForeignKey{Columns: []string{"c_nationkey"}, RefTable: "nation", RefColumns: []string{"n_nationkey"}},
+	))
+
+	s.MustAdd(MustTable("orders",
+		[]Column{
+			{Name: "o_orderkey", Type: TypeInt, Domain: "orderkey", Indexable: true},
+			{Name: "o_custkey", Type: TypeInt, Domain: "custkey", Indexable: true},
+			{Name: "o_orderstatus", Type: TypeString, Domain: "status", Indexable: true, AvgWidth: 1},
+			{Name: "o_totalprice", Type: TypeFloat, Domain: "money", Indexable: true},
+			{Name: "o_orderdate", Type: TypeInt, Domain: "date", Indexable: true},
+			{Name: "o_orderpriority", Type: TypeString, Domain: "priority", Indexable: true, AvgWidth: 8},
+			{Name: "o_clerk", Type: TypeString, Domain: "entname", Indexable: true, AvgWidth: 15},
+			{Name: "o_shippriority", Type: TypeInt, Domain: "size", Indexable: true},
+			{Name: "o_comment", Type: TypeString, AvgWidth: 49},
+		},
+		[]string{"o_orderkey"},
+		ForeignKey{Columns: []string{"o_custkey"}, RefTable: "customer", RefColumns: []string{"c_custkey"}},
+	))
+
+	s.MustAdd(MustTable("lineitem",
+		[]Column{
+			{Name: "l_orderkey", Type: TypeInt, Domain: "orderkey", Indexable: true},
+			{Name: "l_partkey", Type: TypeInt, Domain: "partkey", Indexable: true},
+			{Name: "l_suppkey", Type: TypeInt, Domain: "suppkey", Indexable: true},
+			{Name: "l_linenumber", Type: TypeInt, Indexable: true},
+			{Name: "l_quantity", Type: TypeInt, Domain: "qty", Indexable: true},
+			{Name: "l_extendedprice", Type: TypeFloat, Domain: "money", Indexable: true},
+			{Name: "l_discount", Type: TypeFloat, Indexable: true},
+			{Name: "l_tax", Type: TypeFloat, Indexable: true},
+			{Name: "l_returnflag", Type: TypeString, Domain: "status", Indexable: true, AvgWidth: 1},
+			{Name: "l_linestatus", Type: TypeString, Domain: "status", Indexable: true, AvgWidth: 1},
+			{Name: "l_shipdate", Type: TypeInt, Domain: "date", Indexable: true},
+			{Name: "l_commitdate", Type: TypeInt, Domain: "date", Indexable: true},
+			{Name: "l_receiptdate", Type: TypeInt, Domain: "date", Indexable: true},
+			{Name: "l_shipinstruct", Type: TypeString, Domain: "shipmode", Indexable: true, AvgWidth: 12},
+			{Name: "l_shipmode", Type: TypeString, Domain: "shipmode", Indexable: true, AvgWidth: 4},
+			{Name: "l_comment", Type: TypeString, AvgWidth: 27},
+		},
+		[]string{"l_orderkey", "l_linenumber"},
+		ForeignKey{Columns: []string{"l_orderkey"}, RefTable: "orders", RefColumns: []string{"o_orderkey"}},
+		ForeignKey{Columns: []string{"l_partkey", "l_suppkey"}, RefTable: "partsupp", RefColumns: []string{"ps_partkey", "ps_suppkey"}},
+	))
+
+	return s
+}
+
+// TPCHFullScaleRows returns the TPC-H row counts at scale factor 10
+// (the paper's 10 GB databases). Generators multiply these by a scale
+// factor. Region and nation are fixed-size in TPC-H and are kept at
+// their spec sizes regardless of scale.
+func TPCHFullScaleRows() map[string]int64 {
+	return map[string]int64{
+		"region":   5,
+		"nation":   25,
+		"supplier": 100_000,
+		"part":     2_000_000,
+		"partsupp": 8_000_000,
+		"customer": 1_500_000,
+		"orders":   15_000_000,
+		"lineitem": 60_000_000,
+	}
+}

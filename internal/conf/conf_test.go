@@ -1,0 +1,100 @@
+package conf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexDefEqual(t *testing.T) {
+	a := IndexDef{Table: "T", Columns: []string{"a", "b"}}
+	cases := []struct {
+		b    IndexDef
+		want bool
+	}{
+		{IndexDef{Table: "t", Columns: []string{"A", "B"}}, true}, // case-insensitive
+		{IndexDef{Table: "t", Columns: []string{"a"}}, false},
+		{IndexDef{Table: "t", Columns: []string{"b", "a"}}, false}, // order matters
+		{IndexDef{Table: "u", Columns: []string{"a", "b"}}, false},
+	}
+	for _, c := range cases {
+		if got := a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v", a, c.b, got)
+		}
+	}
+}
+
+func TestAddIndexDedups(t *testing.T) {
+	var c Configuration
+	d := IndexDef{Table: "t", Columns: []string{"x"}}
+	if !c.AddIndex(d) {
+		t.Fatal("first add should succeed")
+	}
+	if c.AddIndex(IndexDef{Table: "T", Columns: []string{"X"}}) {
+		t.Fatal("duplicate add should be rejected")
+	}
+	if len(c.Indexes) != 1 {
+		t.Fatalf("indexes = %d", len(c.Indexes))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Configuration{
+		Name:    "orig",
+		Indexes: []IndexDef{{Table: "t", Columns: []string{"a"}}},
+		Views:   []ViewDef{{Name: "v", SQL: "SELECT a FROM t", BaseTables: []string{"t"}}},
+	}
+	cl := c.Clone()
+	cl.Indexes[0].Columns[0] = "z"
+	cl.Views[0].BaseTables[0] = "z"
+	if c.Indexes[0].Columns[0] != "a" || c.Views[0].BaseTables[0] != "t" {
+		t.Error("Clone must not share backing arrays")
+	}
+}
+
+func TestWidthCountsExcludesAuto(t *testing.T) {
+	c := Configuration{Indexes: []IndexDef{
+		{Table: "t", Columns: []string{"pk"}, Auto: true, Unique: true},
+		{Table: "t", Columns: []string{"a"}},
+		{Table: "t", Columns: []string{"a", "b"}},
+		{Table: "t", Columns: []string{"a", "b", "c", "d", "e"}}, // wider than max
+		{Table: "u", Columns: []string{"x", "y", "z"}},
+	}}
+	counts := c.WidthCounts(4)
+	if got := counts["t"]; got[0] != 1 || got[1] != 1 || got[3] != 1 {
+		t.Errorf("t counts = %v", got)
+	}
+	if got := counts["u"]; got[2] != 1 {
+		t.Errorf("u counts = %v", got)
+	}
+	names := SortedTables(counts)
+	if len(names) != 2 || names[0] != "t" || names[1] != "u" {
+		t.Errorf("sorted tables = %v", names)
+	}
+}
+
+func TestViewsLookup(t *testing.T) {
+	c := Configuration{Views: []ViewDef{{Name: "MV_a"}}}
+	if !c.HasView("mv_A") {
+		t.Error("HasView should be case-insensitive")
+	}
+	if v := c.View("mv_a"); v == nil || v.Name != "MV_a" {
+		t.Errorf("View lookup = %v", v)
+	}
+	if c.View("nope") != nil {
+		t.Error("missing view should return nil")
+	}
+}
+
+func TestNamesAndStrings(t *testing.T) {
+	d := IndexDef{Table: "orders", Columns: []string{"o_custkey", "o_orderdate"}, Unique: true}
+	if d.Name() != "ix_orders_o_custkey_o_orderdate" {
+		t.Errorf("Name = %s", d.Name())
+	}
+	if !strings.Contains(d.String(), "UNIQUE INDEX") {
+		t.Errorf("String = %s", d.String())
+	}
+	v := ViewDef{Name: "mv1", SQL: "SELECT 1"}
+	if !strings.Contains(v.String(), "MATERIALIZED VIEW mv1") {
+		t.Errorf("view String = %s", v.String())
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func measures(times []float64, timeouts int) []Measure {
+	var ms []Measure
+	for _, t := range times {
+		ms = append(ms, Measure{Seconds: t})
+	}
+	for i := 0; i < timeouts; i++ {
+		ms = append(ms, Measure{Seconds: 1800, TimedOut: true})
+	}
+	return ms
+}
+
+func TestCFCBasics(t *testing.T) {
+	c := NewCFC(measures([]float64{1, 10, 100, 1000}, 1), 1800)
+	if c.N() != 5 || c.Timeouts() != 1 {
+		t.Fatalf("N=%d timeouts=%d", c.N(), c.Timeouts())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1.5, 0.2}, {10, 0.2}, {10.5, 0.4}, {1e6, 0.8},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCFCMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var times []float64
+		for i := 0; i < 50; i++ {
+			times = append(times, rng.Float64()*2000)
+		}
+		c := NewCFC(measures(times, rng.Intn(5)), 1800)
+		prev := -1.0
+		for x := 0.0; x < 3000; x += 37 {
+			v := c.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCFC(measures([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 2), 1800)
+	if q := c.Quantile(0.5); q != 5 {
+		t.Errorf("median = %v, want 5", q)
+	}
+	if q := c.Quantile(0.9); !math.IsInf(q, 1) {
+		t.Errorf("p90 should land in timeouts, got %v", q)
+	}
+	if q := c.Quantile(0.1); q != 1 {
+		t.Errorf("p10 = %v, want 1", q)
+	}
+}
+
+func TestTotalLowerBound(t *testing.T) {
+	c := NewCFC(measures([]float64{10, 20}, 3), 1800)
+	if got := c.TotalLowerBound(); got != 10+20+3*1800 {
+		t.Errorf("lower bound = %v", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	fast := NewCFC(measures([]float64{1, 2, 3, 4}, 0), 1800)
+	slow := NewCFC(measures([]float64{10, 20, 30, 40}, 0), 1800)
+	if !fast.Dominates(slow) {
+		t.Error("fast should dominate slow")
+	}
+	if slow.Dominates(fast) {
+		t.Error("slow must not dominate fast")
+	}
+	if fast.Dominates(fast) {
+		t.Error("a curve must not strictly dominate itself")
+	}
+	// Crossing curves: neither dominates.
+	a := NewCFC(measures([]float64{1, 100}, 0), 1800)
+	b := NewCFC(measures([]float64{10, 20}, 0), 1800)
+	if a.Dominates(b) || b.Dominates(a) {
+		t.Error("crossing curves must not dominate each other")
+	}
+}
+
+func TestGoalSatisfaction(t *testing.T) {
+	goal := Example2Goal()
+	// Paper Example 2 + Figure 3 reading: a 1C-like curve passes, a P-like
+	// curve fails.
+	pass := NewCFC(measures([]float64{
+		2, 5, 8, 9, // 40% under 10s
+		20, 30, 40, 50, 55, // 90% under 60s
+		300, // rest before timeout
+	}, 0), 1800)
+	if !goal.Satisfied(pass) {
+		t.Error("fast curve should satisfy Example 2 goal")
+	}
+	fail := NewCFC(measures([]float64{50, 100, 200, 400, 800, 900, 1000, 1200, 1500}, 1), 1800)
+	if goal.Satisfied(fail) {
+		t.Error("slow curve must not satisfy Example 2 goal")
+	}
+	// Exactly-at-edge semantics: 10% strictly below 10s required just
+	// after x=10.
+	edge := NewCFC(measures([]float64{10, 10, 10, 10, 10, 20, 20, 20, 20, 20}, 0), 1800)
+	g := Goal{Steps: []GoalStep{{X: 10, Frac: 0.5}}}
+	if !g.Satisfied(edge) {
+		t.Error("values equal to the step edge count for x just above it")
+	}
+}
+
+func TestImprovementRatio(t *testing.T) {
+	ci := []Measure{{Seconds: 100}, {Seconds: 10}, {Seconds: 50, TimedOut: true}, {Seconds: 8}}
+	cj := []Measure{{Seconds: 10}, {Seconds: 10}, {Seconds: 5}, {Seconds: 2, TimedOut: true}}
+	rs := ImprovementRatio(ci, cj)
+	if len(rs) != 2 {
+		t.Fatalf("ratios = %v, want 2 entries (timeout pairs skipped)", rs)
+	}
+	if rs[0] != 10 || rs[1] != 1 {
+		t.Errorf("ratios = %v", rs)
+	}
+}
+
+func TestRatioHistogram(t *testing.T) {
+	rs := []float64{1, 1, 1, 10, 12, 100, 95, 0.1}
+	h := NewRatioHistogram(rs)
+	if h.Count(0) != 3 {
+		t.Errorf("decade 1: %d, want 3", h.Count(0))
+	}
+	if h.Count(1) != 2 {
+		t.Errorf("decade 10: %d, want 2", h.Count(1))
+	}
+	if h.Count(2) != 2 {
+		t.Errorf("decade 100: %d, want 2", h.Count(2))
+	}
+	if h.Count(-1) != 1 {
+		t.Errorf("decade 0.1: %d, want 1", h.Count(-1))
+	}
+	out := h.Render("ratios")
+	if !strings.Contains(out, "10^1") || !strings.Contains(out, "1 (none)") {
+		t.Errorf("render missing labels:\n%s", out)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	ms := measures([]float64{0.5, 1.5, 15, 150, 1500}, 2)
+	h := NewHistogram(ms, 1, 1800, 1)
+	if h.TOut != 2 {
+		t.Errorf("t_out = %d", h.TOut)
+	}
+	var binned int
+	for _, c := range h.Counts {
+		binned += c
+	}
+	if binned != 5 {
+		t.Errorf("binned %d of 5 completed queries", binned)
+	}
+	out := h.Render("hist")
+	if !strings.Contains(out, "t_out") {
+		t.Error("render missing timeout bin")
+	}
+	// Cumulative line must end at 100%.
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("cumulative should reach 100%%:\n%s", out)
+	}
+}
+
+func TestRenderCurves(t *testing.T) {
+	a := NewCFC(measures([]float64{1, 5, 20, 100}, 0), 1800)
+	b := NewCFC(measures([]float64{100, 500, 1000}, 1), 1800)
+	out := RenderCurves("Figure X", []string{"1C", "P"}, []CFC{a, b}, 1, 1800)
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "1C") {
+		t.Error("render missing labels")
+	}
+	if len(strings.Split(out, "\n")) < 16 {
+		t.Error("render too short")
+	}
+	sum := SummaryTable([]string{"1C", "P"}, []CFC{a, b})
+	if !strings.Contains(sum, "median") {
+		t.Error("summary missing header")
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	c := NewCFC(nil, 1800)
+	if c.At(100) != 0 || !math.IsInf(c.Quantile(0.5), 1) || c.Mean() != 0 {
+		t.Error("empty CFC should be all-zero")
+	}
+	h := NewHistogram(nil, 1, 1800, 2)
+	if h.Total != 0 {
+		t.Error("empty histogram")
+	}
+	if rs := ImprovementRatio(nil, nil); len(rs) != 0 {
+		t.Error("empty ratios")
+	}
+}

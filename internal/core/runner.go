@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/engine"
+)
+
+// DefaultTimeout is the paper's per-query timeout: 30 minutes.
+const DefaultTimeout = 1800.0
+
+// RunWorkload executes every query under the engine's current
+// configuration with the timeout, returning the A(q, C) measures in
+// workload order.
+func RunWorkload(e *engine.Engine, queries []string, timeout float64) ([]Measure, error) {
+	out := make([]Measure, 0, len(queries))
+	for _, q := range queries {
+		_, m, err := e.Run(q, timeout)
+		if err != nil {
+			return nil, fmt.Errorf("core: running %q: %w", q, err)
+		}
+		out = append(out, Measure{SQL: q, Seconds: m.Seconds, TimedOut: m.TimedOut})
+	}
+	return out, nil
+}
+
+// EstimateWorkload returns the optimizer estimates E(q, C) under the
+// current configuration.
+func EstimateWorkload(e *engine.Engine, queries []string) ([]Measure, error) {
+	out := make([]Measure, 0, len(queries))
+	for _, q := range queries {
+		m, err := e.Estimate(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: estimating %q: %w", q, err)
+		}
+		out = append(out, Measure{SQL: q, Seconds: m.Seconds})
+	}
+	return out, nil
+}
+
+// WhatIfWorkload returns the hypothetical estimates H(q, Ch, Ca) for the
+// configuration Ch evaluated from the engine's current configuration.
+func WhatIfWorkload(e *engine.Engine, queries []string, hypo conf.Configuration) ([]Measure, error) {
+	w := e.NewWhatIf()
+	out := make([]Measure, 0, len(queries))
+	for _, qs := range queries {
+		q, err := e.AnalyzeSQL(qs)
+		if err != nil {
+			return nil, fmt.Errorf("core: analyzing %q: %w", qs, err)
+		}
+		m, err := w.Estimate(q, hypo)
+		if err != nil {
+			return nil, fmt.Errorf("core: what-if %q: %w", qs, err)
+		}
+		out = append(out, Measure{SQL: qs, Seconds: m.Seconds})
+	}
+	return out, nil
+}

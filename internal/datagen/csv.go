@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/val"
+)
+
+// WriteCSV streams a heap's rows as CSV with a header row of column names.
+func WriteCSV(w io.Writer, h *storage.Heap) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(h.Table.Columns))
+	for i, c := range h.Table.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var writeErr error
+	h.Scan(nil, func(_ storage.RowID, r val.Row) bool {
+		rec := make([]string, len(r))
+		for i, v := range r {
+			rec[i] = v.Raw()
+		}
+		if err := cw.Write(rec); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads CSV rows (with a header, which is validated against the
+// table's column names) into the loader.
+func ReadCSV(r io.Reader, t *catalog.Table, into Loader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("datagen: reading CSV header: %w", err)
+	}
+	if len(header) != len(t.Columns) {
+		return fmt.Errorf("datagen: CSV has %d columns, table %s has %d",
+			len(header), t.Name, len(t.Columns))
+	}
+	var rows []val.Row
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		row := make(val.Row, len(rec))
+		for i, f := range rec {
+			v, err := parseValue(t.Columns[i].Type, f)
+			if err != nil {
+				return fmt.Errorf("datagen: column %s: %w", t.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+		if len(rows) == 10000 {
+			if err := into.Load(t.Name, rows); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if len(rows) > 0 {
+		return into.Load(t.Name, rows)
+	}
+	return nil
+}
+
+func parseValue(ty catalog.Type, field string) (val.Value, error) {
+	if field == "NULL" {
+		return val.Null(), nil
+	}
+	switch ty {
+	case catalog.TypeInt:
+		i, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return val.Value{}, err
+		}
+		return val.Int(i), nil
+	case catalog.TypeFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return val.Value{}, err
+		}
+		return val.Float(f), nil
+	default:
+		return val.String(field), nil
+	}
+}

@@ -1,0 +1,210 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/val"
+)
+
+// NREFOptions controls synthetic NREF generation.
+type NREFOptions struct {
+	// ScaleFactor multiplies the paper's full-scale row counts
+	// (Protein 1.1M, Source 3M, Taxonomy 15.1M, Organism 1.2M,
+	// Neighboring_seq 78.7M, Identical_seq 0.5M).
+	ScaleFactor float64
+	Seed        int64
+}
+
+// scaled returns max(1, round(full * sf)).
+func scaled(full int64, sf float64) int {
+	n := int(float64(full) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// aminoAcids are the 20 standard one-letter codes.
+const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
+
+// proteinNamePool generates the shared protein/species/organism name
+// domain. "Simian Virus 40" (the paper's Example 1 constant) is always
+// rank 40 — frequent enough to appear, rare enough to be selective.
+func proteinNamePool(n int) []string {
+	if n < 64 {
+		n = 64
+	}
+	pool := make([]string, n)
+	families := []string{"kinase", "transferase", "polymerase", "reductase",
+		"hydrolase", "synthase", "receptor", "transporter", "virus protein",
+		"capsid protein", "membrane protein", "binding factor"}
+	for i := range pool {
+		pool[i] = fmt.Sprintf("%s %d", families[i%len(families)], i)
+	}
+	pool[40] = "Simian Virus 40"
+	return pool
+}
+
+// lineagePool generates taxonomic lineage strings.
+func lineagePool(n int) []string {
+	if n < 16 {
+		n = 16
+	}
+	kingdoms := []string{"Bacteria", "Archaea", "Eukaryota", "Viruses"}
+	pool := make([]string, n)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("%s; clade%d; family%d", kingdoms[i%4], i/17, i)
+	}
+	return pool
+}
+
+func nrefID(i int) val.Value { return val.String(fmt.Sprintf("NF%07d", i)) }
+
+func randSeq(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = aminoAcids[rng.Intn(len(aminoAcids))]
+	}
+	return string(b)
+}
+
+// GenerateNREF populates the engine (which must use the catalog.NREF
+// schema) with a synthetic NREF instance.
+func GenerateNREF(e Loader, opts NREFOptions) error {
+	if opts.ScaleFactor <= 0 {
+		opts.ScaleFactor = 0.001
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	full := catalog.NREFFullScaleRows()
+	sf := opts.ScaleFactor
+
+	nProtein := scaled(full["protein"], sf)
+	nSource := scaled(full["source"], sf)
+	nTaxonomy := scaled(full["taxonomy"], sf)
+	nOrganism := scaled(full["organism"], sf)
+	nNeighbor := scaled(full["neighboring_seq"], sf)
+	nIdentical := scaled(full["identical_seq"], sf)
+
+	// Domain pools, scaled so frequency spectra are scale-invariant. The
+	// pools are large relative to the referencing tables and carry big
+	// uniform tails, so every domain offers constants whose frequencies
+	// span orders of magnitude down to 1 — the spectrum the families'
+	// k1/k2/k3 constant selection (paper §3.2.2) requires.
+	names := proteinNamePool(nSource / 2)
+	lineages := lineagePool(nTaxonomy / 12)
+	nTaxa := nTaxonomy / 6
+	if nTaxa < 32 {
+		nTaxa = 32
+	}
+
+	pickProtein := NewSkewedPick(nProtein/2, nProtein/2, 1.0, 0.4)
+	pickTaxon := NewSkewedPick(nTaxa/4, nTaxa*3/4, 1.0, 0.4)
+	pickName := NewSkewedPick(len(names)/4, len(names)*3/4, 1.0, 0.6)
+	pickLineage := NewSkewedPick(len(lineages)/4, len(lineages)*3/4, 1.0, 0.5)
+	sources := []string{"PIR-PSD", "SwissProt", "TrEMBL", "RefSeq", "GenPept", "PDB"}
+
+	// Protein: one row per nref_id.
+	rows := make([]val.Row, 0, nProtein)
+	for i := 0; i < nProtein; i++ {
+		length := 40 + rng.Intn(900)
+		rows = append(rows, val.Row{
+			nrefID(i),
+			val.String(names[pickName.Next(rng)]),
+			val.Int(int64(10000 + rng.Intn(3000))),
+			val.String(randSeq(rng, 24+rng.Intn(40))), // representative fragment
+			val.Int(int64(length)),
+		})
+	}
+	if err := e.Load("protein", rows); err != nil {
+		return err
+	}
+
+	// Source: ~3 database citations per protein, skewed.
+	rows = rows[:0]
+	for i := 0; i < nSource; i++ {
+		p := pickProtein.Next(rng)
+		rows = append(rows, val.Row{
+			nrefID(p),
+			val.Int(int64(i)),
+			val.Int(int64(pickTaxon.Next(rng))),
+			val.String(fmt.Sprintf("AC%06d", rng.Intn(nSource))),
+			val.String(names[pickName.Next(rng)]),
+			val.String(sources[rng.Intn(len(sources))]),
+		})
+	}
+	if err := e.Load("source", rows); err != nil {
+		return err
+	}
+
+	// Taxonomy: many taxa per protein; lineage correlates with taxon.
+	rows = rows[:0]
+	for i := 0; i < nTaxonomy; i++ {
+		p := pickProtein.Next(rng)
+		taxon := pickTaxon.Next(rng)
+		lineage := lineages[(taxon+pickLineage.Next(rng))%len(lineages)]
+		rows = append(rows, val.Row{
+			nrefID(p),
+			val.Int(int64(taxon)),
+			val.String(lineage),
+			val.String(names[taxon%len(names)]),
+			val.String(names[pickName.Next(rng)]),
+		})
+	}
+	if err := e.Load("taxonomy", rows); err != nil {
+		return err
+	}
+
+	// Organism: roughly one per protein.
+	rows = rows[:0]
+	for i := 0; i < nOrganism; i++ {
+		p := pickProtein.Next(rng)
+		rows = append(rows, val.Row{
+			nrefID(p),
+			val.Int(int64(i)),
+			val.Int(int64(pickTaxon.Next(rng))),
+			val.String(names[pickName.Next(rng)]),
+		})
+	}
+	if err := e.Load("organism", rows); err != nil {
+		return err
+	}
+
+	// Neighboring_seq: the widest and largest relation.
+	rows = rows[:0]
+	for i := 0; i < nNeighbor; i++ {
+		p1 := pickProtein.Next(rng)
+		p2 := pickProtein.Next(rng)
+		l2 := 40 + rng.Intn(900)
+		overlap := rng.Intn(l2 + 1)
+		rows = append(rows, val.Row{
+			nrefID(p1),
+			val.Int(int64(i)),
+			nrefID(p2),
+			val.Int(int64(pickTaxon.Next(rng))),
+			val.Int(int64(l2)),
+			val.Float(float64(rng.Intn(10000)) / 10),
+			val.Int(int64(overlap)),
+			val.Int(int64(rng.Intn(l2 + 1))),
+			val.Int(int64(rng.Intn(l2 + 1))),
+			val.Int(int64(rng.Intn(l2 + 1))),
+			val.Int(int64(rng.Intn(l2 + 1))),
+		})
+	}
+	if err := e.Load("neighboring_seq", rows); err != nil {
+		return err
+	}
+
+	// Identical_seq.
+	rows = rows[:0]
+	for i := 0; i < nIdentical; i++ {
+		rows = append(rows, val.Row{
+			nrefID(pickProtein.Next(rng)),
+			val.Int(int64(i)),
+			nrefID(pickProtein.Next(rng)),
+			val.Int(int64(pickTaxon.Next(rng))),
+		})
+	}
+	return e.Load("identical_seq", rows)
+}

@@ -1,0 +1,244 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/val"
+)
+
+// TPCHOptions controls TPC-H generation.
+type TPCHOptions struct {
+	// ScaleFactor multiplies the paper's 10 GB (TPC-H SF 10) row counts.
+	ScaleFactor float64
+	Seed        int64
+	// Skew enables the Zipfian value distribution (z = ZipfS, the paper
+	// uses 1) following the Chaudhuri-Narasayya skewed TPC-D generator;
+	// when false all values are uniform.
+	Skew  bool
+	ZipfS float64
+}
+
+// picker abstracts uniform versus skewed value selection.
+type picker struct {
+	n    int
+	zipf *SkewedPick
+}
+
+func newPicker(n int, opts TPCHOptions) *picker {
+	if n < 1 {
+		n = 1
+	}
+	p := &picker{n: n}
+	if opts.Skew {
+		s := opts.ZipfS
+		if s == 0 {
+			s = 1
+		}
+		head := n * 3 / 4
+		if head < 1 {
+			head = 1
+		}
+		p.zipf = NewSkewedPick(head, n-head, s, 0.25)
+	}
+	return p
+}
+
+func (p *picker) next(rng *rand.Rand) int {
+	if p.zipf != nil {
+		return p.zipf.Next(rng)
+	}
+	return rng.Intn(p.n)
+}
+
+// TPC-H value pools (spec-derived, abbreviated).
+var (
+	tpchSegments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}
+	tpchShipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	tpchInstructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	tpchContainers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP CASE", "JUMBO PKG"}
+	tpchTypes      = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM BURNISHED NICKEL",
+		"LARGE BRUSHED BRASS", "ECONOMY POLISHED STEEL", "PROMO ANODIZED STEEL"}
+	tpchNations = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+		"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+		"MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
+		"UNITED KINGDOM", "UNITED STATES"}
+	tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+)
+
+// dateRange: TPC-H dates span 1992-01-01 .. 1998-12-31, encoded as day
+// ordinals.
+const dateLo, dateHi = 0, 2556
+
+// GenerateTPCH populates the engine (which must use the catalog.TPCH
+// schema) with a TPC-H instance.
+func GenerateTPCH(e Loader, opts TPCHOptions) error {
+	if opts.ScaleFactor <= 0 {
+		opts.ScaleFactor = 0.001
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	full := catalog.TPCHFullScaleRows()
+	sf := opts.ScaleFactor
+
+	nSupplier := scaled(full["supplier"], sf)
+	nPart := scaled(full["part"], sf)
+	nPartsupp := scaled(full["partsupp"], sf)
+	nCustomer := scaled(full["customer"], sf)
+	nOrders := scaled(full["orders"], sf)
+	nLineitem := scaled(full["lineitem"], sf)
+
+	pickPart := newPicker(nPart, opts)
+	pickCust := newPicker(nCustomer, opts)
+	pickOrder := newPicker(nOrders, opts)
+	pickDate := newPicker(dateHi-dateLo, opts)
+	pickQty := newPicker(50, opts)
+	pickSize := newPicker(50, opts)
+	pickNation := newPicker(len(tpchNations), opts)
+
+	comment := func(n int) val.Value { return val.String(randSeq(rng, n)) }
+	money := func() val.Value { return val.Float(float64(900+rng.Intn(950000)) / 100) }
+
+	// region / nation: fixed-size per spec.
+	rows := make([]val.Row, 0, len(tpchRegions))
+	for i, name := range tpchRegions {
+		rows = append(rows, val.Row{val.Int(int64(i)), val.String(name), comment(20)})
+	}
+	if err := e.Load("region", rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i, name := range tpchNations {
+		rows = append(rows, val.Row{val.Int(int64(i)), val.String(name), val.Int(int64(i % 5)), comment(20)})
+	}
+	if err := e.Load("nation", rows); err != nil {
+		return err
+	}
+
+	// supplier.
+	rows = rows[:0]
+	for i := 0; i < nSupplier; i++ {
+		rows = append(rows, val.Row{
+			val.Int(int64(i)),
+			val.String(fmt.Sprintf("Supplier#%09d", i)),
+			comment(18),
+			val.Int(int64(pickNation.next(rng))),
+			val.String(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+i%25, rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))),
+			money(),
+			comment(24),
+		})
+	}
+	if err := e.Load("supplier", rows); err != nil {
+		return err
+	}
+
+	// part.
+	rows = rows[:0]
+	for i := 0; i < nPart; i++ {
+		rows = append(rows, val.Row{
+			val.Int(int64(i)),
+			val.String(fmt.Sprintf("part %s %d", tpchTypes[i%len(tpchTypes)], i)),
+			val.String(fmt.Sprintf("Manufacturer#%d", 1+pickSize.next(rng)%5)),
+			val.String(fmt.Sprintf("Brand#%d%d", 1+pickSize.next(rng)%5, 1+pickSize.next(rng)%5)),
+			val.String(tpchTypes[pickSize.next(rng)%len(tpchTypes)]),
+			val.Int(int64(1 + pickSize.next(rng))),
+			val.String(tpchContainers[pickSize.next(rng)%len(tpchContainers)]),
+			money(),
+			comment(10),
+		})
+	}
+	if err := e.Load("part", rows); err != nil {
+		return err
+	}
+
+	// partsupp: 4 suppliers per part (spec), with skew applied to the
+	// availqty/supplycost value columns only (keys stay dense).
+	rows = rows[:0]
+	for i := 0; i < nPartsupp; i++ {
+		rows = append(rows, val.Row{
+			val.Int(int64(i / 4 % nPart)),
+			val.Int(int64((i/4 + (i%4)*(nSupplier/4+1)) % nSupplier)),
+			val.Int(int64(1 + pickQty.next(rng)*200)),
+			money(),
+			comment(30),
+		})
+	}
+	if err := e.Load("partsupp", rows); err != nil {
+		return err
+	}
+
+	// customer.
+	rows = rows[:0]
+	for i := 0; i < nCustomer; i++ {
+		rows = append(rows, val.Row{
+			val.Int(int64(i)),
+			val.String(fmt.Sprintf("Customer#%09d", i)),
+			comment(18),
+			val.Int(int64(pickNation.next(rng))),
+			val.String(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+i%25, rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))),
+			money(),
+			val.String(tpchSegments[pickSize.next(rng)%len(tpchSegments)]),
+			comment(28),
+		})
+	}
+	if err := e.Load("customer", rows); err != nil {
+		return err
+	}
+
+	// orders.
+	rows = rows[:0]
+	for i := 0; i < nOrders; i++ {
+		rows = append(rows, val.Row{
+			val.Int(int64(i)),
+			val.Int(int64(pickCust.next(rng))),
+			val.String([]string{"O", "F", "P"}[pickSize.next(rng)%3]),
+			money(),
+			val.Int(int64(dateLo + pickDate.next(rng))),
+			val.String(tpchPriorities[pickSize.next(rng)%len(tpchPriorities)]),
+			val.String(fmt.Sprintf("Clerk#%09d", rng.Intn(nSupplier*10+1))),
+			val.Int(0),
+			comment(20),
+		})
+	}
+	if err := e.Load("orders", rows); err != nil {
+		return err
+	}
+
+	// lineitem: ~4 lines per order.
+	rows = rows[:0]
+	for i := 0; i < nLineitem; i++ {
+		ok := pickOrder.next(rng)
+		part := pickPart.next(rng)
+		// Pick one of the part's four partsupp suppliers so the
+		// (l_partkey, l_suppkey) -> partsupp foreign key actually joins.
+		supp := (part + rng.Intn(4)*(nSupplier/4+1)) % nSupplier
+		ship := dateLo + pickDate.next(rng)
+		rows = append(rows, val.Row{
+			val.Int(int64(ok)),
+			val.Int(int64(part)),
+			val.Int(int64(supp)),
+			val.Int(int64(i % 7)),
+			val.Int(int64(1 + pickQty.next(rng))),
+			money(),
+			val.Float(float64(rng.Intn(11)) / 100),
+			val.Float(float64(rng.Intn(9)) / 100),
+			val.String([]string{"R", "A", "N"}[pickSize.next(rng)%3]),
+			val.String([]string{"O", "F"}[pickSize.next(rng)%2]),
+			val.Int(int64(ship)),
+			val.Int(int64(minI(ship+30, dateHi))),
+			val.Int(int64(minI(ship+60, dateHi))),
+			val.String(tpchInstructs[pickSize.next(rng)%len(tpchInstructs)]),
+			val.String(tpchShipmodes[pickSize.next(rng)%len(tpchShipmodes)]),
+			comment(12),
+		})
+	}
+	return e.Load("lineitem", rows)
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+// Package datagen generates the benchmark databases: a synthetic NREF
+// protein database matching the paper's schema and relative cardinalities,
+// and TPC-H databases in uniform and Zipf-skewed (z=1) variants, per the
+// Chaudhuri-Narasayya skewed TPC-D generator the paper uses.
+//
+// All generation is deterministic given a seed and a scale factor.
+// Distributions are scale-invariant where it matters: domain sizes grow
+// with the row counts so that value-frequency spectra (which the workload
+// generator's constant selection and the HAVING COUNT(*) < k subqueries
+// depend on) look the same at every scale.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/val"
+)
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^S using
+// inverse-CDF lookup; unlike math/rand's Zipf it supports s <= 1 and is
+// deterministic across Go versions for a fixed source.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s (s=1 is the
+// paper's skew factor).
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next samples a rank in [0, N).
+func (z *Zipf) Next(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SkewedPick combines a Zipf head with a uniform long tail: a fraction
+// tailFrac of samples are drawn uniformly from [head, head+tail), the
+// rest from Zipf over [0, head). This guarantees both heavy hitters and
+// rare (frequency 1..3) values at every scale — the frequency spectrum
+// the benchmark's query families exploit.
+type SkewedPick struct {
+	head     *Zipf
+	tail     int
+	tailFrac float64
+}
+
+// NewSkewedPick builds a picker over head+tail distinct values.
+func NewSkewedPick(head, tail int, s, tailFrac float64) *SkewedPick {
+	if head < 1 {
+		head = 1
+	}
+	if tail < 0 {
+		tail = 0
+	}
+	return &SkewedPick{head: NewZipf(head, s), tail: tail, tailFrac: tailFrac}
+}
+
+// N returns the number of distinct values the picker can produce.
+func (p *SkewedPick) N() int { return p.head.N() + p.tail }
+
+// Next samples a value in [0, N()).
+func (p *SkewedPick) Next(rng *rand.Rand) int {
+	if p.tail > 0 && rng.Float64() < p.tailFrac {
+		return p.head.N() + rng.Intn(p.tail)
+	}
+	return p.head.Next(rng)
+}
+
+// Loader receives generated rows, one table at a time. engine.Engine
+// satisfies it; tests may use lighter sinks.
+type Loader interface {
+	Load(table string, rows []val.Row) error
+}

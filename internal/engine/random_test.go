@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/conf"
+	"repro/internal/datagen"
+	"repro/internal/storage"
+)
+
+// randomQuery builds a random conjunctive aggregate query over the NREF
+// schema: 1-3 (possibly repeated) tables joined through shared domains,
+// random constant predicates with constants drawn from live data, an
+// occasional IN subquery, and a GROUP BY with COUNT(*).
+func randomQuery(rng *rand.Rand, e *Engine) (string, bool) {
+	tables := e.Schema.Tables()
+	n := 1 + rng.Intn(3)
+	picked := make([]*catalog.Table, 0, n)
+	// Avoid the biggest table for 3-way joins to keep the naive evaluator
+	// tractable.
+	for len(picked) < n {
+		t := tables[rng.Intn(len(tables))]
+		if n == 3 && strings.EqualFold(t.Name, "neighboring_seq") {
+			continue
+		}
+		picked = append(picked, t)
+	}
+	alias := func(i int) string { return fmt.Sprintf("q%d", i) }
+
+	indexableOf := func(t *catalog.Table) []catalog.Column {
+		var out []catalog.Column
+		for _, c := range t.Columns {
+			if c.Indexable {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	// Connect table i to some earlier table via a shared domain.
+	var preds []string
+	for i := 1; i < len(picked); i++ {
+		j := rng.Intn(i)
+		var pairs [][2]string
+		for _, ci := range indexableOf(picked[i]) {
+			for _, cj := range indexableOf(picked[j]) {
+				if ci.Domain != "" && ci.Domain == cj.Domain {
+					pairs = append(pairs, [2]string{ci.Name, cj.Name})
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return "", false
+		}
+		p := pairs[rng.Intn(len(pairs))]
+		preds = append(preds, fmt.Sprintf("%s.%s = %s.%s", alias(i), p[0], alias(j), p[1]))
+	}
+
+	// Constant predicates with live constants.
+	nSel := rng.Intn(3)
+	for k := 0; k < nSel; k++ {
+		ti := rng.Intn(len(picked))
+		cols := indexableOf(picked[ti])
+		col := cols[rng.Intn(len(cols))]
+		h := e.Heap(picked[ti].Name)
+		if h.NumRows() == 0 {
+			continue
+		}
+		row := h.Get(storage.RowID(rng.Int63n(h.NumRows())))
+		v := row[picked[ti].ColumnIndex(col.Name)]
+		op := []string{"=", "<", "<=", ">", ">="}[rng.Intn(5)]
+		preds = append(preds, fmt.Sprintf("%s.%s %s %s", alias(ti), col.Name, op, v.String()))
+	}
+
+	// Occasional IN subquery on a domain column.
+	if rng.Intn(3) == 0 {
+		ti := rng.Intn(len(picked))
+		cols := indexableOf(picked[ti])
+		col := cols[rng.Intn(len(cols))]
+		sub := tables[rng.Intn(len(tables))]
+		var subCol string
+		for _, sc := range indexableOf(sub) {
+			if sc.Domain != "" && sc.Domain == col.Domain {
+				subCol = sc.Name
+				break
+			}
+		}
+		if subCol != "" {
+			k := 2 + rng.Intn(6)
+			preds = append(preds, fmt.Sprintf(
+				"%s.%s IN (SELECT %s FROM %s GROUP BY %s HAVING COUNT(*) < %d)",
+				alias(ti), col.Name, subCol, sub.Name, subCol, k))
+		}
+	}
+
+	// GROUP BY 1-2 columns of the first table.
+	cols0 := indexableOf(picked[0])
+	ng := 1 + rng.Intn(2)
+	var groups []string
+	for k := 0; k < ng && k < len(cols0); k++ {
+		g := alias(0) + "." + cols0[(rng.Intn(len(cols0))+k)%len(cols0)].Name
+		dup := false
+		for _, existing := range groups {
+			if existing == g {
+				dup = true
+			}
+		}
+		if !dup {
+			groups = append(groups, g)
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("SELECT " + strings.Join(groups, ", ") + ", COUNT(*) FROM ")
+	for i, t := range picked {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.Name + " " + alias(i))
+	}
+	if len(preds) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(preds, " AND "))
+	}
+	sb.WriteString(" GROUP BY " + strings.Join(groups, ", "))
+	return sb.String(), true
+}
+
+// randomConfig picks a random set of 1- and 2-column indexes.
+func randomConfig(rng *rand.Rand, e *Engine) conf.Configuration {
+	cfg := PConfiguration(e)
+	cfg.Name = "random"
+	for _, t := range e.Schema.Tables() {
+		cols := t.IndexableColumns()
+		for _, c := range cols {
+			if rng.Intn(3) == 0 {
+				cfg.AddIndex(conf.IndexDef{Table: t.Name, Columns: []string{c}})
+			}
+		}
+		if len(cols) >= 2 && rng.Intn(2) == 0 {
+			i, j := rng.Intn(len(cols)), rng.Intn(len(cols))
+			if i != j {
+				cfg.AddIndex(conf.IndexDef{Table: t.Name, Columns: []string{cols[i], cols[j]}})
+			}
+		}
+	}
+	return cfg
+}
+
+// TestRandomQueryEquivalence fuzzes the whole stack: random queries under
+// random index configurations must return exactly what the naive evaluator
+// returns.
+func TestRandomQueryEquivalence(t *testing.T) {
+	e := New(catalog.NREF(), 0.00005, SystemA())
+	if err := datagen.GenerateNREF(e, datagen.NREFOptions{ScaleFactor: 0.00005, Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	e.CollectStats()
+	rng := rand.New(rand.NewSource(99))
+
+	queries := 0
+	for attempt := 0; attempt < 200 && queries < 40; attempt++ {
+		qText, ok := randomQuery(rng, e)
+		if !ok {
+			continue
+		}
+		q, err := e.AnalyzeSQL(qText)
+		if err != nil {
+			t.Fatalf("generated unanalyzable query %q: %v", qText, err)
+		}
+		queries++
+		want := naiveEval(e, q)
+		for trial := 0; trial < 2; trial++ {
+			cfg := randomConfig(rng, e)
+			if _, err := e.ApplyConfig(cfg); err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := e.Run(qText, 0)
+			if err != nil {
+				t.Fatalf("query %q: %v", qText, err)
+			}
+			if !rowsEqual(res.Rows, want) {
+				p, _ := e.Prepare(qText)
+				t.Fatalf("random query diverged from naive evaluation\nquery: %s\nconfig: %v\ngot %d rows, want %d\nplan:\n%s",
+					qText, cfg.Indexes, len(res.Rows), len(want), p.Explain())
+			}
+		}
+	}
+	if queries < 20 {
+		t.Fatalf("only %d usable random queries generated", queries)
+	}
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/conf"
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// Transition switches the engine from its current configuration Ci to the
+// target Cj incrementally: structures present in both survive, removed
+// ones are dropped, and only new ones are built. The returned report's
+// BuildSeconds is the paper's AT(Ci, Cj) — the actual cost of changing the
+// system configuration (§2.2) — which is much smaller than rebuilding Cj
+// from scratch when the configurations overlap.
+func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
+	var meter cost.Meter
+
+	// Views: keep unchanged definitions, build new ones. Drops cost one
+	// page write (catalog update; deallocation is lazy).
+	oldViews := e.views
+	e.views = nil
+	for _, vd := range target.Views {
+		var kept *plan.ViewInfo
+		for _, v := range oldViews {
+			if strings.EqualFold(v.Def.Name, vd.Name) && v.Def.SQL == vd.SQL {
+				kept = v
+				break
+			}
+		}
+		if kept != nil {
+			e.views = append(e.views, kept)
+			continue
+		}
+		vi, m, err := e.buildView(vd)
+		if err != nil {
+			return BuildReport{}, err
+		}
+		meter.Add(m)
+		e.views = append(e.views, vi)
+	}
+	for _, v := range oldViews {
+		if !target.HasView(v.Def.Name) {
+			meter.FixedSeq++ // catalog update for the drop
+		}
+	}
+
+	// Indexes: keep matching definitions (on still-existing relations),
+	// build the rest.
+	oldIndexes := e.indexes
+	e.indexes = make(map[string][]*plan.IndexInfo)
+	var extraBytes int64
+	for _, d := range target.Indexes {
+		key := strings.ToLower(d.Table)
+		var kept *plan.IndexInfo
+		for _, ix := range oldIndexes[key] {
+			if ix.Def.Equal(d) {
+				kept = ix
+				break
+			}
+		}
+		// An index on a rebuilt view must itself be rebuilt.
+		if kept != nil && e.Schema.Table(d.Table) == nil {
+			if v := e.findView(d.Table); v == nil || v.Heap == nil {
+				kept = nil
+			}
+		}
+		if kept != nil {
+			e.indexes[key] = append(e.indexes[key], kept)
+			extraBytes += kept.Bytes
+			continue
+		}
+		ix, m, err := e.buildIndex(d)
+		if err != nil {
+			return BuildReport{}, err
+		}
+		meter.Add(m)
+		e.indexes[key] = append(e.indexes[key], ix)
+		extraBytes += ix.Bytes
+	}
+	dropped := 0
+	for key, list := range oldIndexes {
+		for _, ix := range list {
+			found := false
+			for _, cur := range e.indexes[key] {
+				if cur == ix {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dropped++
+			}
+		}
+	}
+	meter.FixedSeq += int64(dropped)
+
+	e.current = target.Clone()
+	for _, v := range e.views {
+		extraBytes += int64(float64(v.Heap.Bytes()) / e.ScaleFactor)
+	}
+	return BuildReport{
+		Config:       e.current,
+		IndexBytes:   extraBytes,
+		Bytes:        e.BaseBytes() + extraBytes,
+		BuildSeconds: e.Model.Seconds(&meter),
+	}, nil
+}
+
+// EstimateTransition returns ET(Ci, Cj) as simulated seconds: the
+// estimated time to build the target configuration's structures that the
+// current configuration lacks, priced from statistics without building
+// anything (one relation scan, a sort, and a sequential leaf write per
+// new index; the defining query's estimated cost plus the result write
+// per new view).
+func (w *WhatIf) EstimateTransition(target conf.Configuration) (float64, error) {
+	var meter cost.Meter
+	for _, vd := range target.Views {
+		if w.e.findView(vd.Name) != nil {
+			continue
+		}
+		vi, err := w.hypoView(vd)
+		if err != nil {
+			return 0, err
+		}
+		// Build = scan the base tables, join, write the result.
+		for _, t := range vi.Query.Tables {
+			if info := w.e.TableStats(t.Table.Name); info != nil {
+				meter.SeqPages += info.Pages
+				meter.Rows += info.Rows
+			}
+		}
+		meter.WritePage += vi.Stats.Pages
+	}
+	for _, d := range target.Indexes {
+		if w.e.findIndex(d) != nil {
+			continue
+		}
+		ix, err := w.hypoIndex(d)
+		if err != nil {
+			return 0, err
+		}
+		var rows, pages int64
+		if ts := w.e.TableStats(d.Table); ts != nil {
+			rows, pages = ts.Rows, ts.Pages
+		} else if vi, err := w.hypoView2(d.Table); err == nil && vi != nil {
+			rows, pages = vi.Stats.Rows, vi.Stats.Pages
+		}
+		meter.SeqPages += pages
+		meter.WritePage += ix.LeafPages
+		if rows > 1 {
+			meter.CPUOps += int64(float64(rows) * math.Log2(float64(rows)))
+		}
+	}
+	return w.e.Model.Seconds(&meter), nil
+}
+
+// hypoView2 returns the cached hypothetical view by name, if any.
+func (w *WhatIf) hypoView2(name string) (*plan.ViewInfo, error) {
+	if v, ok := w.viewCache[strings.ToLower(name)]; ok {
+		return v, nil
+	}
+	return nil, nil
+}

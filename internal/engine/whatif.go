@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/conf"
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/stats"
+)
+
+// WhatIf is a hypothetical-configuration estimation session: it answers
+// H(q, Ch, Ca) — "what would query q cost in configuration Ch?" — while
+// the engine remains in its actual configuration Ca.
+//
+// Structures of Ch that exist in Ca are described by their measured
+// statistics; everything else gets *derived* statistics (composite
+// distinct counts under an independence assumption, no page-locality
+// credit, and the profile's row-count penalty). This derivation gap is
+// the recommender weakness the paper's Section 5 demonstrates.
+//
+// The session caches derived descriptions, so a recommender evaluating
+// hundreds of candidate configurations pays the derivation once per
+// structure.
+type WhatIf struct {
+	e          *Engine
+	indexCache map[string]*plan.IndexInfo
+	viewCache  map[string]*plan.ViewInfo
+}
+
+// NewWhatIf opens a what-if session against the current configuration.
+func (e *Engine) NewWhatIf() *WhatIf {
+	return &WhatIf{
+		e:          e,
+		indexCache: make(map[string]*plan.IndexInfo),
+		viewCache:  make(map[string]*plan.ViewInfo),
+	}
+}
+
+// AnalyzeSQL parses and analyzes a query once for repeated estimation.
+func (e *Engine) AnalyzeSQL(sqlText string) (*sql.Query, error) {
+	stmt, err := sql.ParseSelect(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return sql.Analyze(e.Schema, stmt)
+}
+
+// Estimate returns H(q, Ch, Ca) for the hypothetical configuration.
+func (w *WhatIf) Estimate(q *sql.Query, hypo conf.Configuration) (Measure, error) {
+	phys, err := w.physical(hypo)
+	if err != nil {
+		return Measure{}, err
+	}
+	p, err := optimizer.Optimize(phys, q, w.e.Profile.Opts)
+	if err != nil {
+		return Measure{}, err
+	}
+	return Measure{SQL: q.SQL(), Seconds: p.Est.Seconds, Meter: p.Est.Meter}, nil
+}
+
+// EstimateSize returns the estimated full-scale bytes of the
+// configuration's indexes and views beyond the base data — the measure
+// the storage budget constrains (paper §2.2: ET uses storage).
+func (w *WhatIf) EstimateSize(hypo conf.Configuration) int64 {
+	var total int64
+	for _, vd := range hypo.Views {
+		vi, err := w.hypoView(vd)
+		if err != nil {
+			continue
+		}
+		total += int64(float64(vi.Stats.Pages*cost.PageSize) / w.e.ScaleFactor)
+	}
+	for _, d := range hypo.Indexes {
+		if d.Auto {
+			continue // primary-key indexes belong to every configuration
+		}
+		ix, err := w.hypoIndex(d)
+		if err != nil {
+			continue
+		}
+		total += ix.Bytes
+	}
+	return total
+}
+
+// physical assembles a hypothetical physical design.
+func (w *WhatIf) physical(hypo conf.Configuration) (*plan.Physical, error) {
+	phys := w.e.physical(w.e.Profile.Opts)
+	indexes := make(map[string][]*plan.IndexInfo)
+	var views []*plan.ViewInfo
+
+	for _, vd := range hypo.Views {
+		if actual := w.e.findView(vd.Name); actual != nil {
+			views = append(views, actual)
+			continue
+		}
+		vi, err := w.hypoView(vd)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, vi)
+	}
+	for _, d := range hypo.Indexes {
+		var ix *plan.IndexInfo
+		if actual := w.e.findIndex(d); actual != nil {
+			ix = actual
+		} else {
+			var err error
+			ix, err = w.hypoIndex(d)
+			if err != nil {
+				return nil, err
+			}
+		}
+		key := strings.ToLower(d.Table)
+		indexes[key] = append(indexes[key], ix)
+	}
+	phys.Indexes = indexes
+	phys.Views = views
+	return phys, nil
+}
+
+// findIndex returns the built index matching the definition, if any.
+func (e *Engine) findIndex(d conf.IndexDef) *plan.IndexInfo {
+	for _, ix := range e.indexes[strings.ToLower(d.Table)] {
+		if ix.Def.Equal(d) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// findView returns the built view with the given name, if any.
+func (e *Engine) findView(name string) *plan.ViewInfo {
+	for _, v := range e.views {
+		if strings.EqualFold(v.Def.Name, name) {
+			return v
+		}
+	}
+	return nil
+}
+
+// hypoIndex derives a hypothetical index description from the statistics
+// of the current configuration.
+func (w *WhatIf) hypoIndex(d conf.IndexDef) (*plan.IndexInfo, error) {
+	key := d.Name()
+	if ix, ok := w.indexCache[key]; ok {
+		return ix, nil
+	}
+	var tab *catalog.Table
+	var ts *stats.TableStats
+	if t := w.e.Schema.Table(d.Table); t != nil {
+		tab = t
+		ts = w.e.TableStats(d.Table)
+	} else if v, ok := w.viewCache[strings.ToLower(d.Table)]; ok {
+		tab, ts = v.Table, v.Stats
+	} else if v := w.e.findView(d.Table); v != nil {
+		tab, ts = v.Table, v.Stats
+	}
+	if tab == nil || ts == nil {
+		return nil, fmt.Errorf("engine: what-if index on unknown relation %s", d.Table)
+	}
+	cols := make([]int, len(d.Columns))
+	entryWidth := 8 // rid
+	for i, cn := range d.Columns {
+		ci := tab.ColumnIndex(cn)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: what-if index: no column %s in %s", cn, d.Table)
+		}
+		cols[i] = ci
+		if tab.Columns[ci].Type == catalog.TypeString {
+			aw := tab.Columns[ci].AvgWidth
+			if aw == 0 {
+				aw = 16
+			}
+			entryWidth += 2 + aw
+		} else {
+			entryWidth += 8
+		}
+	}
+	ndv := make([]int64, len(cols))
+	for i := range cols {
+		ndv[i] = ts.CompositeNDV(cols[:i+1])
+	}
+	rows := ts.Rows
+	fill := int64(cost.PageSize) * 70 / 100
+	leafPages := (rows*int64(entryWidth) + fill - 1) / fill
+	if leafPages < 1 {
+		leafPages = 1
+	}
+	height := 1
+	for p := leafPages; p > 1; p = (p + 63) / 64 {
+		height++
+	}
+	epl := fill / int64(entryWidth)
+	if epl < 1 {
+		epl = 1
+	}
+	ix := &plan.IndexInfo{
+		Def:          d,
+		Cols:         cols,
+		Hypothetical: true,
+		KeyNDV:       ndv,
+		// Bytes is a full-scale figure (the budget's unit); the page and
+		// height fields stay in the scaled domain the cost meter uses.
+		Bytes:          int64(float64((leafPages+leafPages/64+1)*cost.PageSize) / w.e.ScaleFactor),
+		Height:         height,
+		LeafPages:      leafPages,
+		EntriesPerLeaf: epl,
+	}
+	w.indexCache[key] = ix
+	return ix, nil
+}
+
+// hypoView derives a hypothetical materialized view description: the
+// defining query is analyzed, its cardinality estimated with the join
+// formula, and column statistics are borrowed from the base tables.
+func (w *WhatIf) hypoView(vd conf.ViewDef) (*plan.ViewInfo, error) {
+	key := strings.ToLower(vd.Name)
+	if v, ok := w.viewCache[key]; ok {
+		return v, nil
+	}
+	stmt, err := sql.ParseSelect(vd.SQL)
+	if err != nil {
+		return nil, err
+	}
+	q, err := sql.Analyze(w.e.Schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Estimated cardinality: product of table rows over join-key NDVs.
+	// Multiple predicates between the same table pair are usually
+	// correlated (composite foreign keys), so predicates after the first
+	// divide by the square root of their NDV only.
+	rows := 1.0
+	for _, t := range q.Tables {
+		ts := w.e.TableStats(t.Table.Name)
+		if ts == nil {
+			return nil, fmt.Errorf("engine: no stats for %s", t.Table.Name)
+		}
+		rows *= float64(ts.Rows)
+	}
+	pairSeen := make(map[[2]int]bool)
+	for _, j := range q.Joins {
+		lts := w.e.TableStats(q.Tables[j.L.Tab].Table.Name)
+		rts := w.e.TableStats(q.Tables[j.R.Tab].Table.Name)
+		ndv := math.Max(float64(lts.Cols[j.L.Col].NDV), float64(rts.Cols[j.R.Col].NDV))
+		pair := [2]int{j.L.Tab, j.R.Tab}
+		if pair[0] > pair[1] {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		if pairSeen[pair] {
+			ndv = math.Sqrt(ndv)
+		}
+		pairSeen[pair] = true
+		if ndv > 1 {
+			rows /= ndv
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+
+	cols := make([]catalog.Column, len(q.Out))
+	outSrc := make([]sql.QCol, len(q.Out))
+	cstats := make([]stats.ColumnStats, len(q.Out))
+	width := 4
+	for i, o := range q.Out {
+		src := q.Tables[o.Col.Tab].Table.Columns[o.Col.Col]
+		cols[i] = catalog.Column{
+			Name: fmt.Sprintf("c%d", i), Type: src.Type, Domain: src.Domain,
+			Indexable: src.Indexable, AvgWidth: src.AvgWidth,
+		}
+		outSrc[i] = o.Col
+		srcStats := w.e.TableStats(q.Tables[o.Col.Tab].Table.Name)
+		cstats[i] = srcStats.Cols[o.Col.Col]
+		if cstats[i].NDV > int64(rows) {
+			cstats[i].NDV = int64(rows)
+		}
+		if src.Type == catalog.TypeString {
+			aw := src.AvgWidth
+			if aw == 0 {
+				aw = 16
+			}
+			width += 2 + aw
+		} else {
+			width += 8
+		}
+	}
+	vt, err := catalog.NewTable(vd.Name, cols, nil)
+	if err != nil {
+		return nil, err
+	}
+	vi := &plan.ViewInfo{
+		Def:   vd,
+		Query: q,
+		Table: vt,
+		Stats: &stats.TableStats{
+			Rows:  int64(rows),
+			Pages: cost.PagesForBytes(int64(rows) * int64(width)),
+			Cols:  cstats,
+		},
+		OutSrc: outSrc,
+	}
+	w.viewCache[key] = vi
+	return vi, nil
+}

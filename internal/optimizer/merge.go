@@ -1,0 +1,140 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// mergeJoinCands builds merge-join candidates for a single equality join
+// between two leaf tables, one per pair of indexes led by the join
+// columns. The join runs entirely over the ordered index leaves;
+// key-level predicates (constants and IN sets on the join column) are
+// applied before any heap fetch, and non-covered sides fetch only the
+// surviving rows, rid-sorted.
+func (s *search) mergeJoinCands(t1, t2 int, lc, rc sql.QCol) []cand {
+	info1 := s.phys.Table(s.q.Tables[t1].Table.Name)
+	info2 := s.phys.Table(s.q.Tables[t2].Table.Name)
+	if info1 == nil || info2 == nil {
+		return nil
+	}
+	// joinPredsBetween may orient (lc, rc) either way; normalize to t1/t2.
+	if lc.Tab != t1 {
+		lc, rc = rc, lc
+	}
+	if lc.Tab != t1 || rc.Tab != t2 {
+		return nil
+	}
+
+	var out []cand
+	for _, ix1 := range sortedIndexes(s.phys.IndexesOn(info1.Table.Name)) {
+		if ix1.Cols[0] != lc.Col {
+			continue
+		}
+		for _, ix2 := range sortedIndexes(s.phys.IndexesOn(info2.Table.Name)) {
+			if ix2.Cols[0] != rc.Col {
+				continue
+			}
+			if s.opts.HypoNoMergeJoin && !s.opts.HypoIdeal &&
+				(ix1.Hypothetical || ix2.Hypothetical) {
+				continue
+			}
+			if c, ok := s.mergeJoinCand(t1, t2, lc, rc, info1, info2, ix1, ix2); ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// buildMergeSide splits the table's predicates into key-level (on the join
+// column) and post (everything else), estimating the key-level
+// selectivity.
+func (s *search) buildMergeSide(t int, joinCol int, info *plan.TableInfo, ix *plan.IndexInfo) (plan.MergeSide, float64, float64) {
+	side := plan.MergeSide{Tab: t, Info: info, Index: ix, Covering: s.covers(t, ix)}
+	keySel, postSel := 1.0, 1.0
+	for _, p := range s.sels[t] {
+		if p.Col.Col == joinCol {
+			side.KeyPreds = append(side.KeyPreds, plan.KeyPred{Op: p.Op, Value: p.Value})
+			keySel *= s.selOf(info, p)
+		} else {
+			side.PostFilters = append(side.PostFilters, plan.Filter{
+				Offset: s.layout.Base[t] + p.Col.Col, Op: p.Op, Value: p.Value,
+			})
+			postSel *= s.selOf(info, p)
+		}
+	}
+	for _, ii := range s.ins[t] {
+		p := s.q.Ins[ii]
+		if p.Col.Col == joinCol {
+			side.KeyIns = append(side.KeyIns, plan.KeyIn{SetID: ii})
+			keySel *= s.inSel[ii]
+		} else {
+			side.PostIns = append(side.PostIns, plan.InFilter{
+				Offset: s.layout.Offset(p.Col), SetID: ii,
+			})
+			postSel *= s.inSel[ii]
+		}
+	}
+	return side, keySel, postSel
+}
+
+func (s *search) mergeJoinCand(t1, t2 int, lc, rc sql.QCol,
+	info1, info2 *plan.TableInfo, ix1, ix2 *plan.IndexInfo) (cand, bool) {
+
+	side1, keySel1, postSel1 := s.buildMergeSide(t1, lc.Col, info1, ix1)
+	side2, keySel2, postSel2 := s.buildMergeSide(t2, rc.Col, info2, ix2)
+
+	rows1 := float64(info1.Stats.Rows)
+	rows2 := float64(info2.Stats.Rows)
+	f1 := rows1 * keySel1
+	f2 := rows2 * keySel2
+	ndv := math.Max(s.joinKeyNDV([]sql.QCol{lc}), s.joinKeyNDV([]sql.QCol{rc}))
+	pairs := f1 * f2 / math.Max(ndv, 1)
+	// What-if conservatism: derived statistics cannot promise tight key
+	// runs, so hypothetical merge joins are assumed to pair up more rows.
+	if (ix1.Hypothetical || ix2.Hypothetical) && !s.opts.HypoIdeal {
+		pairs *= s.opts.hypoPenalty()
+		if pairs > f1*f2 {
+			pairs = f1 * f2
+		}
+	}
+
+	node := &plan.MergeJoin{L: side1, R: side2}
+	est := plan.Est{Rows: pairs * postSel1 * postSel2}
+
+	// Leaf scans of both indexes.
+	est.Meter.FixedRand = int64(ix1.Height + ix2.Height)
+	est.Meter.SeqPages = ix1.LeafPages + ix2.LeafPages
+	est.Meter.Rows = info1.Stats.Rows + info2.Stats.Rows
+	est.Meter.CPUOps = int64(rows1)*int64(1+len(side1.KeyPreds)+len(side1.KeyIns)) +
+		int64(rows2)*int64(1+len(side2.KeyPreds)+len(side2.KeyIns))
+
+	// Fetches of surviving rows, rid-sorted, per non-covered side.
+	for i, side := range []*plan.MergeSide{&node.L, &node.R} {
+		if side.Covering {
+			continue
+		}
+		info := info1
+		filtered := f1
+		if i == 1 {
+			info = info2
+			filtered = f2
+		}
+		fetch := math.Min(pairs, filtered)
+		pages := float64(info.Heap.Pages())
+		touched := cardenas(fetch, pages)
+		if (ix1.Hypothetical || ix2.Hypothetical) && !s.opts.HypoIdeal {
+			touched = math.Min(fetch, pages)
+		}
+		est.Meter.SeqPages += ceilI(touched)
+		est.Meter.CPUOps += ceilI(fetch * math.Log2(math.Max(fetch, 2)))
+	}
+	// Pair assembly and post-predicate work.
+	est.Meter.CPUOps += ceilI(pairs) * int64(1+len(side1.PostFilters)+len(side1.PostIns)+
+		len(side2.PostFilters)+len(side2.PostIns))
+	est.Seconds = s.phys.Model.Seconds(&est.Meter)
+	node.Est = est
+	return cand{node: node, est: est}, true
+}

@@ -1,0 +1,268 @@
+package optimizer
+
+import (
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// viewCand is a materialized-view access covering a subset of query tables.
+type viewCand struct {
+	mask uint32
+	cand cand
+}
+
+// viewCandidates matches each materialized view against the query and
+// returns ViewScan candidates. A view matches when:
+//
+//   - every base table of the view appears exactly once in the query (views
+//     are skipped for self-joined table names, where the mapping would be
+//     ambiguous);
+//   - every join predicate of the view's defining query appears in the
+//     query, and every query join predicate local to the covered tables is
+//     implied by the view (otherwise the view would lose a constraint);
+//   - every query-needed column of the covered tables is present in the
+//     view's projection.
+func (s *search) viewCandidates() []viewCand {
+	var out []viewCand
+	for _, v := range s.phys.Views {
+		if c, ok := s.matchView(v); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (s *search) matchView(v *plan.ViewInfo) (viewCand, bool) {
+	// Map view defining-query table ordinals to query table ordinals.
+	tabMap := make([]int, len(v.Query.Tables))
+	var mask uint32
+	for vi, vt := range v.Query.Tables {
+		found := -1
+		for qi, qt := range s.q.Tables {
+			if strings.EqualFold(qt.Table.Name, vt.Table.Name) {
+				if found >= 0 {
+					return viewCand{}, false // ambiguous (self-join)
+				}
+				found = qi
+			}
+		}
+		if found < 0 {
+			return viewCand{}, false
+		}
+		tabMap[vi] = found
+		mask |= 1 << uint(found)
+	}
+
+	// Join-predicate containment, both directions.
+	mapCol := func(c sql.QCol) sql.QCol { return sql.QCol{Tab: tabMap[c.Tab], Col: c.Col} }
+	joinEq := func(a, b sql.JoinPred) bool {
+		return (a.L == b.L && a.R == b.R) || (a.L == b.R && a.R == b.L)
+	}
+	for _, vj := range v.Query.Joins {
+		mapped := sql.JoinPred{L: mapCol(vj.L), R: mapCol(vj.R)}
+		ok := false
+		for _, qj := range s.q.Joins {
+			if joinEq(mapped, qj) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return viewCand{}, false
+		}
+	}
+	for _, qj := range s.q.Joins {
+		inL := mask&(1<<uint(qj.L.Tab)) != 0
+		inR := mask&(1<<uint(qj.R.Tab)) != 0
+		if !inL || !inR {
+			continue
+		}
+		ok := false
+		for _, vj := range v.Query.Joins {
+			if joinEq(sql.JoinPred{L: mapCol(vj.L), R: mapCol(vj.R)}, qj) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return viewCand{}, false
+		}
+	}
+
+	// Column coverage: every needed column of covered tables must be a
+	// view output column.
+	viewColOf := make(map[sql.QCol]int) // query col -> view column ordinal
+	for i, src := range v.OutSrc {
+		viewColOf[mapCol(src)] = i
+	}
+	for qi := range s.q.Tables {
+		if mask&(1<<uint(qi)) == 0 {
+			continue
+		}
+		for c := range s.needed[qi] {
+			if _, ok := viewColOf[sql.QCol{Tab: qi, Col: c}]; !ok {
+				return viewCand{}, false
+			}
+		}
+	}
+
+	// Build the ViewScan: map view columns to flat offsets.
+	node := &plan.ViewScan{View: v}
+	for qi := range s.q.Tables {
+		if mask&(1<<uint(qi)) != 0 {
+			node.Tabs = append(node.Tabs, qi)
+		}
+	}
+	node.ColOffsets = make([]int, len(v.OutSrc))
+	for i, src := range v.OutSrc {
+		qc := mapCol(src)
+		if s.needed[qc.Tab][qc.Col] {
+			node.ColOffsets[i] = s.layout.Offset(qc)
+		} else {
+			node.ColOffsets[i] = -1
+		}
+	}
+
+	// Predicates on covered tables.
+	rows := float64(v.Stats.Rows)
+	filterSel := 1.0
+	type selBind struct {
+		viewCol int
+		pred    sql.SelPred
+	}
+	var selBinds []selBind
+	for qi := range s.q.Tables {
+		if mask&(1<<uint(qi)) == 0 {
+			continue
+		}
+		for _, p := range s.sels[qi] {
+			vc := viewColOf[sql.QCol{Tab: qi, Col: p.Col.Col}]
+			selBinds = append(selBinds, selBind{viewCol: vc, pred: p})
+			sel := v.Stats.Selectivity(vc, p.Op, p.Value)
+			if sel <= 0 {
+				sel = 0.5 / maxF(1, rows)
+			}
+			filterSel *= sel
+			node.Filters = append(node.Filters, plan.Filter{
+				Offset: s.layout.Offset(p.Col), Op: p.Op, Value: p.Value,
+			})
+		}
+		for _, ii := range s.ins[qi] {
+			node.Ins = append(node.Ins, plan.InFilter{
+				Offset: s.layout.Offset(s.q.Ins[ii].Col), SetID: ii,
+			})
+			filterSel *= s.inSel[ii]
+		}
+	}
+
+	// Candidate 1: sequential scan of the view.
+	seqEst := plan.Est{Rows: rows * filterSel}
+	seqEst.Meter.SeqPages = viewPages(v)
+	seqEst.Meter.Rows = v.Stats.Rows
+	seqEst.Meter.CPUOps = v.Stats.Rows * int64(len(node.Filters)+len(node.Ins))
+	seqEst.Seconds = s.phys.Model.Seconds(&seqEst.Meter)
+	node.Est = seqEst
+	best := cand{node: node, est: seqEst}
+
+	// Candidate 2: index scans over the view via constant-equality
+	// prefixes.
+	for _, ix := range sortedIndexes(s.phys.IndexesOn(v.Def.Name)) {
+		clone := *node
+		var eqVals []plan.Filter
+		k := 0
+		consumed := make(map[int]bool)
+		for _, col := range ix.Cols {
+			found := -1
+			for i, sb := range selBinds {
+				if !consumed[i] && sb.viewCol == col && sb.pred.Op == "=" {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				break
+			}
+			consumed[found] = true
+			eqVals = append(eqVals, plan.Filter{Value: selBinds[found].pred.Value})
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		clone.Index = ix
+		clone.EqVals = nil
+		for _, f := range eqVals {
+			clone.EqVals = append(clone.EqVals, f.Value)
+		}
+		ndv := float64(ix.KeyNDV[k-1])
+		if ndv < 1 {
+			ndv = 1
+		}
+		match := rows / ndv
+		if ix.Hypothetical && !s.opts.HypoIdeal {
+			match *= s.opts.hypoPenalty()
+			if match > rows {
+				match = rows
+			}
+		}
+		resSel := 1.0
+		for i, sb := range selBinds {
+			if consumed[i] {
+				continue
+			}
+			sel := v.Stats.Selectivity(sb.viewCol, sb.pred.Op, sb.pred.Value)
+			if sel <= 0 {
+				sel = 0.5 / maxF(1, rows)
+			}
+			resSel *= sel
+		}
+		inSelAll := 1.0
+		for qi := range s.q.Tables {
+			if mask&(1<<uint(qi)) == 0 {
+				continue
+			}
+			for _, ii := range s.ins[qi] {
+				inSelAll *= s.inSel[ii]
+			}
+		}
+		est := plan.Est{Rows: match * resSel * inSelAll}
+		est.Meter.FixedRand = int64(ix.Height) + 1
+		epl := float64(ix.EntriesPerLeaf)
+		if epl < 1 {
+			epl = 1
+		}
+		est.Meter.SeqPages = ceilI(match / epl)
+		fetch := cardenas(match, float64(viewPages(v)))
+		if ix.Hypothetical && !s.opts.HypoIdeal {
+			fetch = match
+		}
+		est.Meter.RandPages += ceilI(fetch)
+		est.Meter.Rows = ceilI(match)
+		est.Meter.CPUOps = ceilI(match) * int64(len(clone.Filters)+len(clone.Ins))
+		est.Seconds = s.phys.Model.Seconds(&est.Meter)
+		clone.Est = est
+		if est.Seconds < best.est.Seconds {
+			cl := clone
+			best = cand{node: &cl, est: est}
+		}
+	}
+	return viewCand{mask: mask, cand: best}, true
+}
+
+// viewPages returns the view's page count, from the heap when the view is
+// materialized or from derived statistics when it is hypothetical.
+func viewPages(v *plan.ViewInfo) int64 {
+	if v.Heap != nil {
+		return v.Heap.Pages()
+	}
+	return v.Stats.Pages
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/val"
+)
+
+// Stmt is a parsed SQL statement: either *SelectStmt or *InsertStmt.
+type Stmt interface{ isStmt() }
+
+// SelectStmt is the AST of a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent; conjunctions are BinExpr{Op:"AND"}
+	GroupBy []ColRef
+	Having  *Having
+	OrderBy []OrderItem
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+func (*SelectStmt) isStmt() {}
+
+// InsertStmt is the AST of INSERT INTO t VALUES (...), (...), ...
+type InsertStmt struct {
+	Table string
+	Rows  []([]val.Value)
+}
+
+func (*InsertStmt) isStmt() {}
+
+// SelectItem is one output expression: a column or an aggregate.
+type SelectItem struct {
+	Col *ColRef // exactly one of Col / Agg is set
+	Agg *AggExpr
+}
+
+// TableRef names a relation in the FROM clause, with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // empty means the table name itself
+}
+
+// Name returns the name the query uses to refer to this relation.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Qualifier string // alias or table name; empty if unqualified
+	Name      string
+}
+
+func (c ColRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// AggExpr is an aggregate call. Only COUNT variants appear in the
+// benchmark families, but SUM/MIN/MAX/AVG parse for shell use.
+type AggExpr struct {
+	Func     string  // upper-case: COUNT, SUM, MIN, MAX, AVG
+	Distinct bool    // COUNT(DISTINCT col)
+	Arg      *ColRef // nil means * (COUNT(*) only)
+}
+
+func (a AggExpr) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		return a.Func + "(DISTINCT " + arg + ")"
+	}
+	return a.Func + "(" + arg + ")"
+}
+
+// Having is the HAVING clause of a (sub)query: an aggregate compared with
+// an integer constant, e.g. HAVING COUNT(*) < 4.
+type Having struct {
+	Agg   AggExpr
+	Op    string // = < <= > >= <>
+	Value int64
+}
+
+// Expr is a boolean or scalar expression in WHERE.
+type Expr interface{ isExpr() }
+
+// BinExpr is a binary expression; Op is one of AND, =, <>, <, <=, >, >=.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// ColExpr is a column reference used as an expression.
+type ColExpr struct{ Ref ColRef }
+
+// LitExpr is a literal constant.
+type LitExpr struct{ Val val.Value }
+
+// InExpr is col IN (subquery).
+type InExpr struct {
+	Col ColRef
+	Sub *SelectStmt
+}
+
+func (BinExpr) isExpr() {}
+func (ColExpr) isExpr() {}
+func (LitExpr) isExpr() {}
+func (InExpr) isExpr()  {}
+
+// String renders the statement back to SQL. The output is parseable by
+// this package (used to round-trip generated family queries).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if it.Col != nil {
+			sb.WriteString(it.Col.String())
+		} else {
+			sb.WriteString(it.Agg.String())
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.Table)
+		if t.Alias != "" {
+			sb.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		writeExpr(&sb, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.Agg.String() + " " + s.Having.Op + " " +
+			strconv.FormatInt(s.Having.Value, 10))
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Col.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case BinExpr:
+		writeExpr(sb, e.L)
+		sb.WriteString(" " + e.Op + " ")
+		writeExpr(sb, e.R)
+	case ColExpr:
+		sb.WriteString(e.Ref.String())
+	case LitExpr:
+		sb.WriteString(e.Val.String())
+	case InExpr:
+		sb.WriteString(e.Col.String() + " IN (" + e.Sub.String() + ")")
+	}
+}

@@ -1,0 +1,180 @@
+// Package sql implements the SQL subset used by the benchmark's query
+// families (paper §3.2.2): select-project-join queries with equality and
+// inequality predicates, COUNT/COUNT(DISTINCT) aggregates, GROUP BY, and
+// one level of nesting in the form of IN (SELECT c FROM t GROUP BY c
+// HAVING COUNT(*) cmp k) sub-selects.
+//
+// The package provides a lexer, a recursive-descent parser producing an
+// AST, and a semantic analyzer (Analyze) that binds the AST against a
+// catalog.Schema and produces the normalized Query representation the
+// optimizer consumes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords are upper-cased; symbols canonical
+	pos  int    // byte offset in input
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) are tokenized as keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "COUNT": true, "DISTINCT": true, "AND": true, "IN": true,
+	"AS": true, "OR": true, "NOT": true, "ORDER": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "NULL": true, "ASC": true, "DESC": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// lex tokenizes the whole input.
+func (l *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			toks = append(toks, token{kind: tokEOF, pos: l.pos})
+			return toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			up := strings.ToUpper(text)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: text, pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '-' && l.peekDigit():
+			l.pos++
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			toks = append(toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s, pos: start})
+		default:
+			sym, err := l.lexSymbol()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func (l *lexer) peekDigit() bool {
+	return l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// lexString consumes a single-quoted SQL string with ” escaping and
+// returns its unescaped contents.
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexSymbol() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		if two == "!=" {
+			two = "<>"
+		}
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '=', '<', '>':
+		l.pos++
+		return string(c), nil
+	}
+	return "", l.errf(l.pos, "unexpected character %q", c)
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }

@@ -1,0 +1,459 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/val"
+)
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Stmt, error) {
+	l := &lexer{src: src}
+	toks, err := l.lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{l: l, toks: toks}
+	var stmt Stmt
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.peekKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	default:
+		return nil, p.errHere("expected SELECT or INSERT")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errHere("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(src string) (*SelectStmt, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, &parseError{msg: "statement is not a SELECT"}
+	}
+	return sel, nil
+}
+
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return "sql: " + e.msg }
+
+type parser struct {
+	l    *lexer
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errHere(format string, args ...interface{}) error {
+	return p.l.errf(p.cur().pos, format, args...)
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errHere("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) peekSymbol(sym string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == sym
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peekSymbol(sym) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errHere("expected %q", sym)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errHere("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// parseSelect parses: SELECT items FROM tables [WHERE expr]
+// [GROUP BY cols] [HAVING agg op int].
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	for {
+		it, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, it)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, tr)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseHaving()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.peekAgg() {
+		a, err := p.parseAgg()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Agg: a}, nil
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: &c}, nil
+}
+
+func (p *parser) peekAgg() bool {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return false
+	}
+	switch t.text {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAgg() (*AggExpr, error) {
+	fn := p.cur().text
+	p.pos++
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	a := &AggExpr{Func: fn}
+	if p.acceptSymbol("*") {
+		if fn != "COUNT" {
+			return nil, p.errHere("%s(*) is not valid", fn)
+		}
+	} else {
+		if p.acceptKeyword("DISTINCT") {
+			a.Distinct = true
+		}
+		c, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		a.Arg = &c
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	p.acceptKeyword("AS")
+	if p.cur().kind == tokIdent {
+		tr.Alias = p.cur().text
+		p.pos++
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		second, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: first, Name: second}, nil
+	}
+	return ColRef{Name: first}, nil
+}
+
+// parseConjunction parses pred (AND pred)*. OR is rejected explicitly: the
+// benchmark families are conjunctive (paper §3.2.2 uses only equality and
+// simple predicates joined by AND).
+func (p *parser) parseConjunction() (Expr, error) {
+	left, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.peekKeyword("OR") {
+			return nil, p.errHere("OR is not supported in this SQL subset")
+		}
+		if !p.acceptKeyword("AND") {
+			return left, nil
+		}
+		right, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: "AND", L: left, R: right}
+	}
+}
+
+// parsePredicate parses one of:
+//
+//	col cmp col | col cmp literal | literal cmp col | col IN (subselect)
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IN") {
+		colE, ok := left.(ColExpr)
+		if !ok {
+			return nil, p.errHere("IN requires a column on the left")
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InExpr{Col: colE.Ref, Sub: sub}, nil
+	}
+	t := p.cur()
+	if t.kind != tokSymbol {
+		return nil, p.errHere("expected comparison operator")
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, p.errHere("unsupported operator %q", t.text)
+	}
+	p.pos++
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return BinExpr{Op: t.text, L: left, R: right}, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		c, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return ColExpr{Ref: c}, nil
+	case tokNumber:
+		p.pos++
+		return LitExpr{Val: parseNumber(t.text)}, nil
+	case tokString:
+		p.pos++
+		return LitExpr{Val: val.String(t.text)}, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			p.pos++
+			return LitExpr{Val: val.Null()}, nil
+		}
+	}
+	return nil, p.errHere("expected column, number or string")
+}
+
+func parseNumber(text string) val.Value {
+	if !strings.ContainsAny(text, ".eE") {
+		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return val.Int(i)
+		}
+	}
+	f, _ := strconv.ParseFloat(text, 64)
+	return val.Float(f)
+}
+
+func (p *parser) parseHaving() (*Having, error) {
+	if !p.peekAgg() {
+		return nil, p.errHere("HAVING requires an aggregate")
+	}
+	a, err := p.parseAgg()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tokSymbol {
+		return nil, p.errHere("expected comparison operator in HAVING")
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, p.errHere("unsupported operator %q in HAVING", t.text)
+	}
+	p.pos++
+	num := p.cur()
+	if num.kind != tokNumber {
+		return nil, p.errHere("HAVING comparison requires an integer constant")
+	}
+	p.pos++
+	v, err := strconv.ParseInt(num.text, 10, 64)
+	if err != nil {
+		return nil, p.errHere("bad integer %q", num.text)
+	}
+	return &Having{Agg: *a, Op: t.text, Value: v}, nil
+}
+
+// parseInsert parses INSERT INTO t VALUES (lit, ...), (lit, ...) ...
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []val.Value
+		for {
+			t := p.cur()
+			switch t.kind {
+			case tokNumber:
+				row = append(row, parseNumber(t.text))
+			case tokString:
+				row = append(row, val.String(t.text))
+			case tokKeyword:
+				if t.text != "NULL" {
+					return nil, p.errHere("expected literal")
+				}
+				row = append(row, val.Null())
+			default:
+				return nil, p.errHere("expected literal")
+			}
+			p.pos++
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptSymbol(",") {
+			return ins, nil
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/val"
+)
+
+// Query is the semantically analyzed, normalized form of a SELECT: tables
+// bound to the catalog, the WHERE conjunction split into join predicates,
+// selection predicates and IN-subquery predicates, and the output list
+// resolved. This is the representation the optimizer and the workload
+// generator share.
+type Query struct {
+	Stmt   *SelectStmt
+	Tables []QTable
+	Joins  []JoinPred
+	Sels   []SelPred
+	Ins    []InPred
+
+	GroupBy []QCol
+	Aggs    []QAgg
+
+	// Out maps each select item to its source: OutGroup refers to
+	// GroupBy[Index], OutAgg refers to Aggs[Index].
+	Out []OutItem
+
+	// OrderBy gives the output ordering as select-list positions.
+	OrderBy []OrderSpec
+}
+
+// OrderSpec orders the result by output column OutIdx.
+type OrderSpec struct {
+	OutIdx int
+	Desc   bool
+}
+
+// SQL renders the analyzed query back to SQL text.
+func (q *Query) SQL() string { return q.Stmt.String() }
+
+// QTable is a FROM-clause relation bound to its catalog table.
+type QTable struct {
+	Ref   TableRef
+	Table *catalog.Table
+}
+
+// QCol identifies a column as (table ordinal in Query.Tables, column
+// offset in that table).
+type QCol struct {
+	Tab int
+	Col int
+}
+
+// JoinPred is an equality join between two columns of different (or the
+// same, self-joined) relations.
+type JoinPred struct {
+	L, R QCol
+}
+
+// SelPred is a comparison between a column and a constant.
+type SelPred struct {
+	Col   QCol
+	Op    string // = <> < <= > >=
+	Value val.Value
+}
+
+// InPred is col IN (SELECT subCol FROM subTable [GROUP BY subCol]
+// [HAVING COUNT(*) op k]).
+type InPred struct {
+	Col      QCol
+	SubTable *catalog.Table
+	SubCol   int // column offset in SubTable
+	// Having is nil for a plain IN (SELECT c FROM t) subquery.
+	Having *Having
+	// SubSels are selection predicates inside the subquery (column offset
+	// in SubTable, op, value); the benchmark families don't generate
+	// them, but the shell accepts them.
+	SubSels []SubSel
+}
+
+// SubSel is a constant predicate local to an IN-subquery.
+type SubSel struct {
+	Col   int
+	Op    string
+	Value val.Value
+}
+
+// AggKind enumerates supported aggregates.
+type AggKind uint8
+
+// Supported aggregate kinds.
+const (
+	AggCountStar AggKind = iota
+	AggCountCol
+	AggCountDistinct
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// QAgg is a resolved aggregate.
+type QAgg struct {
+	Kind AggKind
+	Col  QCol // meaningful unless Kind == AggCountStar
+}
+
+// OutKind says whether an output item is a grouping column or an aggregate.
+type OutKind uint8
+
+// Output item kinds.
+const (
+	OutGroup OutKind = iota
+	OutAgg
+	OutCol // plain projection column (no GROUP BY in the query)
+)
+
+// OutItem maps a select item to its resolved source.
+type OutItem struct {
+	Kind  OutKind
+	Index int  // into GroupBy or Aggs
+	Col   QCol // for OutCol
+	Name  string
+}
+
+// Analyze binds a parsed SELECT against the schema and normalizes it.
+func Analyze(schema *catalog.Schema, stmt *SelectStmt) (*Query, error) {
+	q := &Query{Stmt: stmt}
+	names := make(map[string]int)
+	for _, tr := range stmt.From {
+		t := schema.Table(tr.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sql: unknown table %s", tr.Table)
+		}
+		name := tr.Name()
+		if _, dup := names[name]; dup {
+			return nil, fmt.Errorf("sql: duplicate table name/alias %s", name)
+		}
+		names[name] = len(q.Tables)
+		q.Tables = append(q.Tables, QTable{Ref: tr, Table: t})
+	}
+
+	resolve := func(c ColRef) (QCol, error) {
+		if c.Qualifier != "" {
+			ti, ok := names[c.Qualifier]
+			if !ok {
+				return QCol{}, fmt.Errorf("sql: unknown table or alias %s", c.Qualifier)
+			}
+			ci := q.Tables[ti].Table.ColumnIndex(c.Name)
+			if ci < 0 {
+				return QCol{}, fmt.Errorf("sql: table %s has no column %s", c.Qualifier, c.Name)
+			}
+			return QCol{Tab: ti, Col: ci}, nil
+		}
+		found := QCol{Tab: -1}
+		for ti, qt := range q.Tables {
+			if ci := qt.Table.ColumnIndex(c.Name); ci >= 0 {
+				if found.Tab >= 0 {
+					return QCol{}, fmt.Errorf("sql: ambiguous column %s", c.Name)
+				}
+				found = QCol{Tab: ti, Col: ci}
+			}
+		}
+		if found.Tab < 0 {
+			return QCol{}, fmt.Errorf("sql: unknown column %s", c.Name)
+		}
+		return found, nil
+	}
+
+	// WHERE clause → normalized predicate lists.
+	if stmt.Where != nil {
+		if err := analyzeConjunct(schema, q, resolve, stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	// GROUP BY.
+	groupIdx := make(map[QCol]int)
+	for _, c := range stmt.GroupBy {
+		qc, err := resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := groupIdx[qc]; dup {
+			continue
+		}
+		groupIdx[qc] = len(q.GroupBy)
+		q.GroupBy = append(q.GroupBy, qc)
+	}
+
+	// Select list.
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if it.Agg != nil {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(q.GroupBy) > 0 {
+		for _, it := range stmt.Items {
+			switch {
+			case it.Col != nil:
+				qc, err := resolve(*it.Col)
+				if err != nil {
+					return nil, err
+				}
+				gi, ok := groupIdx[qc]
+				if !ok {
+					return nil, fmt.Errorf("sql: column %s must appear in GROUP BY", it.Col)
+				}
+				q.Out = append(q.Out, OutItem{Kind: OutGroup, Index: gi, Name: it.Col.String()})
+			case it.Agg != nil:
+				qa, err := resolveAgg(*it.Agg, resolve)
+				if err != nil {
+					return nil, err
+				}
+				q.Out = append(q.Out, OutItem{Kind: OutAgg, Index: len(q.Aggs), Name: it.Agg.String()})
+				q.Aggs = append(q.Aggs, qa)
+			}
+		}
+	} else {
+		for _, it := range stmt.Items {
+			qc, err := resolve(*it.Col)
+			if err != nil {
+				return nil, err
+			}
+			q.Out = append(q.Out, OutItem{Kind: OutCol, Col: qc, Name: it.Col.String()})
+		}
+	}
+
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING on the outer query is not supported (only inside IN subqueries)")
+	}
+
+	// ORDER BY resolves against the select list: each ordered column must
+	// be one of the output items.
+	for _, o := range stmt.OrderBy {
+		idx := -1
+		for i, it := range stmt.Items {
+			if it.Col != nil && strings.EqualFold(it.Col.Name, o.Col.Name) &&
+				(o.Col.Qualifier == "" || strings.EqualFold(it.Col.Qualifier, o.Col.Qualifier)) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: ORDER BY column %s must appear in the select list", o.Col)
+		}
+		q.OrderBy = append(q.OrderBy, OrderSpec{OutIdx: idx, Desc: o.Desc})
+	}
+	return q, nil
+}
+
+func resolveAgg(a AggExpr, resolve func(ColRef) (QCol, error)) (QAgg, error) {
+	if a.Arg == nil {
+		if a.Func != "COUNT" {
+			return QAgg{}, fmt.Errorf("sql: %s requires an argument", a.Func)
+		}
+		return QAgg{Kind: AggCountStar}, nil
+	}
+	qc, err := resolve(*a.Arg)
+	if err != nil {
+		return QAgg{}, err
+	}
+	switch {
+	case a.Func == "COUNT" && a.Distinct:
+		return QAgg{Kind: AggCountDistinct, Col: qc}, nil
+	case a.Func == "COUNT":
+		return QAgg{Kind: AggCountCol, Col: qc}, nil
+	case a.Distinct:
+		return QAgg{}, fmt.Errorf("sql: DISTINCT is only supported with COUNT")
+	case a.Func == "SUM":
+		return QAgg{Kind: AggSum, Col: qc}, nil
+	case a.Func == "MIN":
+		return QAgg{Kind: AggMin, Col: qc}, nil
+	case a.Func == "MAX":
+		return QAgg{Kind: AggMax, Col: qc}, nil
+	case a.Func == "AVG":
+		return QAgg{Kind: AggAvg, Col: qc}, nil
+	}
+	return QAgg{}, fmt.Errorf("sql: unsupported aggregate %s", a.Func)
+}
+
+// analyzeConjunct walks the AND tree classifying each leaf predicate.
+func analyzeConjunct(schema *catalog.Schema, q *Query, resolve func(ColRef) (QCol, error), e Expr) error {
+	switch e := e.(type) {
+	case BinExpr:
+		if e.Op == "AND" {
+			if err := analyzeConjunct(schema, q, resolve, e.L); err != nil {
+				return err
+			}
+			return analyzeConjunct(schema, q, resolve, e.R)
+		}
+		return analyzeComparison(q, resolve, e)
+	case InExpr:
+		return analyzeIn(schema, q, resolve, e)
+	default:
+		return fmt.Errorf("sql: unsupported WHERE expression %T", e)
+	}
+}
+
+func analyzeComparison(q *Query, resolve func(ColRef) (QCol, error), e BinExpr) error {
+	lCol, lIsCol := e.L.(ColExpr)
+	rCol, rIsCol := e.R.(ColExpr)
+	lLit, lIsLit := e.L.(LitExpr)
+	rLit, rIsLit := e.R.(LitExpr)
+	switch {
+	case lIsCol && rIsCol:
+		if e.Op != "=" {
+			return fmt.Errorf("sql: only equality joins are supported, found %s", e.Op)
+		}
+		l, err := resolve(lCol.Ref)
+		if err != nil {
+			return err
+		}
+		r, err := resolve(rCol.Ref)
+		if err != nil {
+			return err
+		}
+		q.Joins = append(q.Joins, JoinPred{L: l, R: r})
+		return nil
+	case lIsCol && rIsLit:
+		c, err := resolve(lCol.Ref)
+		if err != nil {
+			return err
+		}
+		q.Sels = append(q.Sels, SelPred{Col: c, Op: e.Op, Value: rLit.Val})
+		return nil
+	case lIsLit && rIsCol:
+		c, err := resolve(rCol.Ref)
+		if err != nil {
+			return err
+		}
+		q.Sels = append(q.Sels, SelPred{Col: c, Op: flipOp(e.Op), Value: lLit.Val})
+		return nil
+	}
+	return fmt.Errorf("sql: unsupported comparison operands")
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+// analyzeIn validates the restricted subquery shape the benchmark uses:
+// a single table, a single selected column, optionally grouped by that
+// same column with a HAVING COUNT(*) comparison, plus optional constant
+// predicates.
+func analyzeIn(schema *catalog.Schema, q *Query, resolve func(ColRef) (QCol, error), e InExpr) error {
+	outer, err := resolve(e.Col)
+	if err != nil {
+		return err
+	}
+	sub := e.Sub
+	if len(sub.From) != 1 {
+		return fmt.Errorf("sql: IN subquery must reference exactly one table")
+	}
+	st := schema.Table(sub.From[0].Table)
+	if st == nil {
+		return fmt.Errorf("sql: unknown table %s in subquery", sub.From[0].Table)
+	}
+	if len(sub.Items) != 1 || sub.Items[0].Col == nil {
+		return fmt.Errorf("sql: IN subquery must select exactly one column")
+	}
+	scName := sub.Items[0].Col.Name
+	sc := st.ColumnIndex(scName)
+	if sc < 0 {
+		return fmt.Errorf("sql: subquery table %s has no column %s", st.Name, scName)
+	}
+	ip := InPred{Col: outer, SubTable: st, SubCol: sc}
+	if len(sub.GroupBy) > 0 {
+		if len(sub.GroupBy) != 1 || st.ColumnIndex(sub.GroupBy[0].Name) != sc {
+			return fmt.Errorf("sql: IN subquery must group by its selected column")
+		}
+	}
+	if sub.Having != nil {
+		if sub.Having.Agg.Func != "COUNT" || sub.Having.Agg.Arg != nil {
+			return fmt.Errorf("sql: IN subquery HAVING must use COUNT(*)")
+		}
+		if len(sub.GroupBy) == 0 {
+			return fmt.Errorf("sql: HAVING in subquery requires GROUP BY")
+		}
+		h := *sub.Having
+		ip.Having = &h
+	}
+	if sub.Where != nil {
+		if err := collectSubSels(st, sub.Where, &ip); err != nil {
+			return err
+		}
+	}
+	q.Ins = append(q.Ins, ip)
+	return nil
+}
+
+func collectSubSels(st *catalog.Table, e Expr, ip *InPred) error {
+	switch e := e.(type) {
+	case BinExpr:
+		if e.Op == "AND" {
+			if err := collectSubSels(st, e.L, ip); err != nil {
+				return err
+			}
+			return collectSubSels(st, e.R, ip)
+		}
+		c, cOK := e.L.(ColExpr)
+		l, lOK := e.R.(LitExpr)
+		if !cOK || !lOK {
+			return fmt.Errorf("sql: IN subquery predicates must be column-vs-constant")
+		}
+		ci := st.ColumnIndex(c.Ref.Name)
+		if ci < 0 {
+			return fmt.Errorf("sql: subquery table %s has no column %s", st.Name, c.Ref.Name)
+		}
+		ip.SubSels = append(ip.SubSels, SubSel{Col: ci, Op: e.Op, Value: l.Val})
+		return nil
+	default:
+		return fmt.Errorf("sql: unsupported expression in IN subquery WHERE")
+	}
+}
+
+// CompareOp applies a comparison operator to two values.
+func CompareOp(op string, a, b val.Value) bool {
+	c := val.Compare(a, b)
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/val"
+)
+
+// example1 is the paper's Example 1 query (Simian Virus 40).
+const example1 = `
+SELECT t.lineage, count(distinct t2.nref_id)
+FROM source s, taxonomy t, taxonomy t2
+WHERE t.nref_id = s.nref_id AND t.lineage = t2.lineage
+  AND s.p_name = 'Simian Virus 40'
+GROUP BY t.lineage`
+
+// nref2j is an instance of the NREF2J family template.
+const nref2j = `
+SELECT r.taxon_id, r.nref_id, COUNT(*)
+FROM taxonomy r, organism s
+WHERE r.nref_id = s.nref_id
+  AND r.nref_id IN (SELECT nref_id FROM taxonomy GROUP BY nref_id HAVING COUNT(*) < 4)
+  AND s.nref_id IN (SELECT nref_id FROM organism GROUP BY nref_id HAVING COUNT(*) < 4)
+GROUP BY r.taxon_id, r.nref_id`
+
+func TestParseExample1(t *testing.T) {
+	stmt, err := ParseSelect(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if stmt.Items[1].Agg == nil || !stmt.Items[1].Agg.Distinct {
+		t.Fatal("second item should be COUNT(DISTINCT ...)")
+	}
+	if len(stmt.From) != 3 {
+		t.Fatalf("from = %d", len(stmt.From))
+	}
+	if stmt.From[2].Alias != "t2" {
+		t.Fatalf("alias = %q", stmt.From[2].Alias)
+	}
+	if len(stmt.GroupBy) != 1 {
+		t.Fatalf("group by = %d", len(stmt.GroupBy))
+	}
+}
+
+func TestAnalyzeExample1(t *testing.T) {
+	schema := catalog.NREF()
+	stmt, err := ParseSelect(example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Analyze(schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 3 || len(q.Joins) != 2 || len(q.Sels) != 1 {
+		t.Fatalf("tables=%d joins=%d sels=%d", len(q.Tables), len(q.Joins), len(q.Sels))
+	}
+	if q.Sels[0].Value.Str != "Simian Virus 40" {
+		t.Fatalf("selection constant = %v", q.Sels[0].Value)
+	}
+	if len(q.GroupBy) != 1 || len(q.Aggs) != 1 {
+		t.Fatalf("groupby=%d aggs=%d", len(q.GroupBy), len(q.Aggs))
+	}
+	if q.Aggs[0].Kind != AggCountDistinct {
+		t.Fatalf("agg kind = %v", q.Aggs[0].Kind)
+	}
+	// t2.nref_id is table 2, column 0.
+	if q.Aggs[0].Col.Tab != 2 || q.Aggs[0].Col.Col != 0 {
+		t.Fatalf("agg col = %+v", q.Aggs[0].Col)
+	}
+}
+
+func TestAnalyzeInSubqueries(t *testing.T) {
+	schema := catalog.NREF()
+	stmt, err := ParseSelect(nref2j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Analyze(schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Ins) != 2 {
+		t.Fatalf("ins = %d", len(q.Ins))
+	}
+	in := q.Ins[0]
+	if in.SubTable.Name != "taxonomy" || in.Having == nil || in.Having.Op != "<" || in.Having.Value != 4 {
+		t.Fatalf("bad InPred: %+v", in)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, src := range []string{example1, nref2j} {
+		stmt, err := ParseSelect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := stmt.String()
+		stmt2, err := ParseSelect(text)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", text, err)
+		}
+		if stmt2.String() != text {
+			t.Fatalf("round trip unstable:\n%s\n%s", text, stmt2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a = 1 OR b = 2",
+		"SELECT a FROM t WHERE a LIKE 'x'",
+		"SELECT a FROM t GROUP",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t; DROP TABLE t",
+		"UPDATE t SET a = 1",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	schema := catalog.NREF()
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"SELECT x FROM nosuch", "unknown table"},
+		{"SELECT nosuch FROM protein", "unknown column"},
+		{"SELECT nref_id FROM protein p, source s", "ambiguous"},
+		{"SELECT p.nref_id, COUNT(*) FROM protein p", "GROUP BY"},
+		{"SELECT p.nref_id FROM protein p, protein p", "duplicate"},
+		{"SELECT q.nref_id FROM protein p", "unknown table or alias"},
+		{"SELECT p.length FROM protein p WHERE p.length < p.last_updated", "only equality joins"},
+		{"SELECT nref_id FROM protein WHERE nref_id IN (SELECT nref_id, p_name FROM source)", "exactly one column"},
+		{"SELECT nref_id FROM protein WHERE nref_id IN (SELECT s.nref_id FROM source s, taxonomy t)", "exactly one table"},
+	}
+	for _, c := range cases {
+		stmt, err := ParseSelect(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		_, err = Analyze(schema, stmt)
+		if err == nil {
+			t.Errorf("Analyze(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Analyze(%q) error %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestFlippedComparison(t *testing.T) {
+	schema := catalog.NREF()
+	stmt, err := ParseSelect("SELECT length FROM protein WHERE 100 < length")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Analyze(schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sels) != 1 || q.Sels[0].Op != ">" || q.Sels[0].Value.I != 100 {
+		t.Fatalf("flipped predicate: %+v", q.Sels[0])
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse("INSERT INTO protein VALUES ('NF001', 'p', 1, 'MKV', 3), ('NF002', 'q', 2, 'ACD', 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Table != "protein" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 5 {
+		t.Fatalf("insert: %+v", ins)
+	}
+	if ins.Rows[1][0].Str != "NF002" {
+		t.Fatalf("row literal: %v", ins.Rows[1][0])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	stmt, err := ParseSelect("SELECT p_name FROM protein WHERE p_name = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Analyze(catalog.NREF(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sels[0].Value.Str != "it's" {
+		t.Fatalf("escape: %q", q.Sels[0].Value.Str)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	stmt, err := ParseSelect("SELECT score FROM neighboring_seq WHERE score >= 1.5 AND start_1 = -3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Analyze(catalog.NREF(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sels[0].Value.K != val.KindFloat || q.Sels[0].Value.F != 1.5 {
+		t.Fatalf("float literal: %v", q.Sels[0].Value)
+	}
+	if q.Sels[1].Value.K != val.KindInt || q.Sels[1].Value.I != -3 {
+		t.Fatalf("negative int literal: %v", q.Sels[1].Value)
+	}
+}
+
+func TestCompareOp(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b val.Value
+		want bool
+	}{
+		{"=", val.Int(1), val.Int(1), true},
+		{"<>", val.Int(1), val.Int(1), false},
+		{"<", val.Int(1), val.Int(2), true},
+		{"<=", val.Int(2), val.Int(2), true},
+		{">", val.String("b"), val.String("a"), true},
+		{">=", val.Float(1.0), val.Int(1), true},
+	}
+	for _, c := range cases {
+		if got := CompareOp(c.op, c.a, c.b); got != c.want {
+			t.Errorf("CompareOp(%s, %v, %v) = %v", c.op, c.a, c.b, got)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	stmt, err := ParseSelect("SELECT length -- trailing comment\nFROM protein")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 1 {
+		t.Fatal("comment handling broke the parse")
+	}
+}
+
+func TestOrderByParsing(t *testing.T) {
+	stmt, err := ParseSelect("SELECT taxon_id, COUNT(*) FROM taxonomy GROUP BY taxon_id ORDER BY taxon_id DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", stmt.OrderBy)
+	}
+	// Round trip.
+	if _, err := ParseSelect(stmt.String()); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	q, err := Analyze(catalog.NREF(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0].OutIdx != 0 || !q.OrderBy[0].Desc {
+		t.Fatalf("resolved order = %+v", q.OrderBy)
+	}
+}
+
+func TestOrderByMustBeSelected(t *testing.T) {
+	stmt, err := ParseSelect("SELECT taxon_id, COUNT(*) FROM taxonomy GROUP BY taxon_id, lineage ORDER BY lineage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(catalog.NREF(), stmt); err == nil {
+		t.Fatal("ORDER BY on a non-selected column must fail analysis")
+	}
+}

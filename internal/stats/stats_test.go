@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/val"
+)
+
+func makeHeap(t *testing.T, n int, valueOf func(i int) val.Row) *storage.Heap {
+	t.Helper()
+	tab := catalog.MustTable("t",
+		[]catalog.Column{
+			{Name: "a", Type: catalog.TypeInt, Indexable: true},
+			{Name: "b", Type: catalog.TypeString, Indexable: true, AvgWidth: 10},
+		},
+		[]string{"a"},
+	)
+	h := storage.NewHeap(tab)
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(nil, valueOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestCollectBasics(t *testing.T) {
+	h := makeHeap(t, 1000, func(i int) val.Row {
+		return val.Row{val.Int(int64(i % 100)), val.String("s")}
+	})
+	ts := Collect(h)
+	if ts.Rows != 1000 {
+		t.Fatalf("Rows = %d", ts.Rows)
+	}
+	if ts.Cols[0].NDV != 100 {
+		t.Fatalf("NDV(a) = %d, want 100", ts.Cols[0].NDV)
+	}
+	if ts.Cols[1].NDV != 1 {
+		t.Fatalf("NDV(b) = %d, want 1", ts.Cols[1].NDV)
+	}
+	if ts.Cols[0].Min.I != 0 || ts.Cols[0].Max.I != 99 {
+		t.Fatalf("min/max = %v/%v", ts.Cols[0].Min, ts.Cols[0].Max)
+	}
+}
+
+func TestNullsTracked(t *testing.T) {
+	h := makeHeap(t, 100, func(i int) val.Row {
+		if i%4 == 0 {
+			return val.Row{val.Null(), val.String("x")}
+		}
+		return val.Row{val.Int(int64(i)), val.String("x")}
+	})
+	ts := Collect(h)
+	if ts.Cols[0].Nulls != 25 {
+		t.Fatalf("Nulls = %d, want 25", ts.Cols[0].Nulls)
+	}
+	if ts.Cols[0].NDV != 75 {
+		t.Fatalf("NDV = %d, want 75", ts.Cols[0].NDV)
+	}
+	if s := ts.EqSelectivity(0, val.Null()); s != 0 {
+		t.Fatalf("NULL selectivity = %v", s)
+	}
+}
+
+func TestEqSelectivityMCV(t *testing.T) {
+	// Value 7 appears 500 times out of 1000; it must be in the MCV list.
+	h := makeHeap(t, 1000, func(i int) val.Row {
+		v := int64(i)
+		if i < 500 {
+			v = 7
+		}
+		return val.Row{val.Int(v), val.String("x")}
+	})
+	ts := Collect(h)
+	if s := ts.EqSelectivity(0, val.Int(7)); s < 0.49 || s > 0.51 {
+		t.Fatalf("MCV selectivity = %v, want ~0.5", s)
+	}
+	// A rare value: roughly 1/1000.
+	if s := ts.EqSelectivity(0, val.Int(900)); s <= 0 || s > 0.01 {
+		t.Fatalf("rare-value selectivity = %v", s)
+	}
+}
+
+func TestRangeSelectivityUniform(t *testing.T) {
+	h := makeHeap(t, 10_000, func(i int) val.Row {
+		return val.Row{val.Int(int64(i)), val.String("x")}
+	})
+	ts := Collect(h)
+	cases := []struct {
+		op   string
+		v    int64
+		want float64
+	}{
+		{"<", 5000, 0.5},
+		{"<=", 2500, 0.25},
+		{">", 9000, 0.1},
+		{">=", 1000, 0.9},
+	}
+	for _, c := range cases {
+		got := ts.RangeSelectivity(0, c.op, val.Int(c.v))
+		if got < c.want-0.05 || got > c.want+0.05 {
+			t.Errorf("sel(a %s %d) = %.3f, want ~%.2f", c.op, c.v, got, c.want)
+		}
+	}
+}
+
+// TestSelectivityAccuracy is the property the optimizer depends on:
+// estimated equality selectivity is within a small factor of the truth
+// for Zipf-like skewed data.
+func TestSelectivityAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	freq := make(map[int64]int64)
+	h := makeHeap(t, 20_000, func(i int) val.Row {
+		// Skew: value v chosen with probability ∝ 1/(v+1).
+		v := int64(rng.Intn(100))
+		v = v * v / 100 // quadratic skew toward 0..99
+		freq[v]++
+		return val.Row{val.Int(v), val.String("x")}
+	})
+	ts := Collect(h)
+	for _, v := range []int64{0, 1, 16, 49, 98} {
+		if freq[v] == 0 {
+			continue
+		}
+		truth := float64(freq[v]) / 20000
+		got := ts.EqSelectivity(0, val.Int(v))
+		if got < truth/3 || got > truth*3 {
+			t.Errorf("sel(=%d): got %.5f, truth %.5f (off by >3x)", v, got, truth)
+		}
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	h := makeHeap(t, 5000, func(i int) val.Row {
+		return val.Row{val.Int(int64(i % 500)), val.String("x")}
+	})
+	ts := Collect(h)
+	var total int64
+	hist := ts.Cols[0].Hist
+	if len(hist) == 0 {
+		t.Fatal("no histogram")
+	}
+	for i, b := range hist {
+		total += b.Count
+		if b.Count <= 0 || b.Distinct <= 0 {
+			t.Fatalf("bucket %d empty: %+v", i, b)
+		}
+		if i > 0 && val.Compare(hist[i-1].Hi, b.Hi) > 0 {
+			t.Fatalf("bucket bounds not increasing at %d", i)
+		}
+	}
+	if total != 5000 {
+		t.Fatalf("histogram covers %d rows, want 5000", total)
+	}
+}
+
+func TestCompositeNDV(t *testing.T) {
+	h := makeHeap(t, 10_000, func(i int) val.Row {
+		return val.Row{val.Int(int64(i % 100)), val.String(string(rune('a' + i%26)))}
+	})
+	ts := Collect(h)
+	single := ts.CompositeNDV([]int{0})
+	if single != 100 {
+		t.Fatalf("single-column composite NDV = %d", single)
+	}
+	both := ts.CompositeNDV([]int{0, 1})
+	if both <= single {
+		t.Fatalf("composite NDV %d should exceed single %d", both, single)
+	}
+	if both > ts.Rows {
+		t.Fatalf("composite NDV %d exceeds row count", both)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	h := makeHeap(t, 1000, func(i int) val.Row {
+		return val.Row{val.Int(int64(i)), val.String("x")}
+	})
+	ts := Collect(h)
+	for _, op := range []string{"=", "<", "<=", ">", ">=", "<>"} {
+		for _, v := range []int64{-10, 0, 500, 999, 5000} {
+			s := ts.Selectivity(0, op, val.Int(v))
+			if s < 0 || s > 1 {
+				t.Errorf("sel(a %s %d) = %v out of [0,1]", op, v, s)
+			}
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	h := makeHeap(t, 0, nil)
+	ts := Collect(h)
+	if ts.Rows != 0 {
+		t.Fatal("rows")
+	}
+	if s := ts.EqSelectivity(0, val.Int(1)); s != 0 {
+		t.Fatalf("selectivity on empty table = %v", s)
+	}
+	if s := ts.RangeSelectivity(0, "<", val.Int(1)); s != 0 {
+		t.Fatalf("range selectivity on empty table = %v", s)
+	}
+	if ndv := ts.CompositeNDV([]int{0, 1}); ndv != 1 {
+		t.Fatalf("composite NDV on empty table = %d", ndv)
+	}
+}

@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/val"
+)
+
+func testTable() *catalog.Table {
+	return catalog.MustTable("t",
+		[]catalog.Column{
+			{Name: "a", Type: catalog.TypeInt, Indexable: true},
+			{Name: "b", Type: catalog.TypeString, Indexable: true, AvgWidth: 20},
+		},
+		[]string{"a"},
+	)
+}
+
+func TestInsertAndScan(t *testing.T) {
+	h := NewHeap(testTable())
+	var m cost.Meter
+	for i := int64(0); i < 1000; i++ {
+		id, err := h.Insert(&m, val.Row{val.Int(i), val.String("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != RowID(i) {
+			t.Fatalf("id = %d, want %d", id, i)
+		}
+	}
+	if h.NumRows() != 1000 {
+		t.Fatalf("NumRows = %d", h.NumRows())
+	}
+	var seen int64
+	var sm cost.Meter
+	h.Scan(&sm, func(id RowID, r val.Row) bool {
+		if r[0].I != int64(id) {
+			t.Fatalf("row %d has a=%d", id, r[0].I)
+		}
+		seen++
+		return true
+	})
+	if seen != 1000 {
+		t.Fatalf("scanned %d rows", seen)
+	}
+	if sm.SeqPages != h.Pages() {
+		t.Errorf("scan billed %d pages, heap has %d", sm.SeqPages, h.Pages())
+	}
+	if sm.Rows != 1000 {
+		t.Errorf("scan billed %d rows", sm.Rows)
+	}
+}
+
+func TestInsertArityCheck(t *testing.T) {
+	h := NewHeap(testTable())
+	if _, err := h.Insert(nil, val.Row{val.Int(1)}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestScanEarlyStopBillsOnlyTouchedPages(t *testing.T) {
+	h := NewHeap(testTable())
+	for i := int64(0); i < 10_000; i++ {
+		if _, err := h.Insert(nil, val.Row{val.Int(i), val.String("y")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var m cost.Meter
+	h.Scan(&m, func(id RowID, r val.Row) bool { return id < 5 })
+	if m.SeqPages != 1 {
+		t.Errorf("early stop billed %d pages, want 1", m.SeqPages)
+	}
+}
+
+func TestCursorPageLocality(t *testing.T) {
+	h := NewHeap(testTable())
+	for i := int64(0); i < 1000; i++ {
+		if _, err := h.Insert(nil, val.Row{val.Int(i), val.String("z")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rpp := h.RowsPerPage()
+	cur := h.NewCursor()
+	var m cost.Meter
+	// Two fetches on the same page: one random read.
+	if _, err := cur.Fetch(&m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Fetch(&m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.RandPages != 1 {
+		t.Errorf("same-page fetches billed %d random pages, want 1", m.RandPages)
+	}
+	// A fetch on a different page: one more.
+	if _, err := cur.Fetch(&m, RowID(2*rpp)); err != nil {
+		t.Fatal(err)
+	}
+	if m.RandPages != 2 {
+		t.Errorf("cross-page fetch billed %d random pages, want 2", m.RandPages)
+	}
+}
+
+func TestFetchOutOfRange(t *testing.T) {
+	h := NewHeap(testTable())
+	cur := h.NewCursor()
+	if _, err := cur.Fetch(nil, 0); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := cur.Fetch(nil, -1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestPagesAndBytes(t *testing.T) {
+	h := NewHeap(testTable())
+	if h.Pages() != 0 || h.Bytes() != 0 {
+		t.Error("empty heap should occupy no pages")
+	}
+	for i := int64(0); i < 100; i++ {
+		if _, err := h.Insert(nil, val.Row{val.Int(i), val.String("w")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantPages := (100 + int64(h.RowsPerPage()) - 1) / int64(h.RowsPerPage())
+	if h.Pages() != wantPages {
+		t.Errorf("Pages = %d, want %d", h.Pages(), wantPages)
+	}
+	if h.Bytes() != wantPages*cost.PageSize {
+		t.Errorf("Bytes = %d", h.Bytes())
+	}
+}
+
+func TestInsertPageWriteAccounting(t *testing.T) {
+	h := NewHeap(testTable())
+	var m cost.Meter
+	n := int64(h.RowsPerPage())*3 + 1
+	for i := int64(0); i < n; i++ {
+		if _, err := h.Insert(&m, val.Row{val.Int(i), val.String("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.WritePage != 4 {
+		t.Errorf("inserting %d rows billed %d page writes, want 4", n, m.WritePage)
+	}
+}

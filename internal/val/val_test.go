@@ -1,0 +1,165 @@
+package val
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareScalars(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(7), Int(7), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Int(2), Float(2.0), 0},
+		{Int(2), Float(1.9), 1},
+		{Float(2.1), Int(2), 1},
+		{String("abc"), String("abd"), -1},
+		{String("b"), String("b"), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+		{Int(1), String("1"), -1}, // kind order: numeric before string
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(String(a), String(b)) == -Compare(String(b), String(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowKeyInjective(t *testing.T) {
+	// Rows with different contents must map to different keys, including
+	// tricky cases around the separator byte and kind boundaries.
+	rows := []Row{
+		{Int(1), Int(2)},
+		{Int(12)},
+		{String("1"), Int(2)},
+		{String("1\x002")},
+		{String("1"), String("2")},
+		{Null()},
+		{Null(), Null()},
+		{Int(0)},
+		{Float(0)},
+		{String("")},
+		{},
+	}
+	seen := make(map[string]int)
+	for i, r := range rows {
+		k := r.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("rows %d and %d share key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestRowKeyEqualForEqualRows(t *testing.T) {
+	f := func(a int64, s string) bool {
+		r1 := Row{Int(a), String(s)}
+		r2 := Row{Int(a), String(s)}
+		return r1.Key() == r2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareRowsLexicographic(t *testing.T) {
+	a := Row{Int(1), String("b")}
+	b := Row{Int(1), String("c")}
+	c := Row{Int(2)}
+	if CompareRows(a, b) != -1 || CompareRows(b, a) != 1 {
+		t.Errorf("lexicographic ordering broken on second column")
+	}
+	if CompareRows(a, c) != -1 {
+		t.Errorf("first column should dominate")
+	}
+	if CompareRows(a, a[:1]) != 1 || CompareRows(a[:1], a) != -1 {
+		t.Errorf("shorter prefix row should sort first")
+	}
+	if CompareRows(a, a) != 0 {
+		t.Errorf("row must equal itself")
+	}
+}
+
+func TestCompareRowsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var rows []Row
+	for i := 0; i < 200; i++ {
+		rows = append(rows, Row{Int(rng.Int63n(10)), Float(float64(rng.Intn(5))), String(string(rune('a' + rng.Intn(4))))})
+	}
+	sort.Slice(rows, func(i, j int) bool { return CompareRows(rows[i], rows[j]) < 0 })
+	for i := 1; i < len(rows); i++ {
+		if CompareRows(rows[i-1], rows[i]) > 0 {
+			t.Fatalf("rows not sorted at %d: %v > %v", i, rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestProjectAndClone(t *testing.T) {
+	r := Row{Int(10), String("x"), Float(2.5)}
+	p := r.Project([]int{2, 0})
+	if len(p) != 2 || p[0].F != 2.5 || p[1].I != 10 {
+		t.Errorf("Project = %v", p)
+	}
+	cl := r.Clone()
+	cl[0] = Int(99)
+	if r[0].I != 10 {
+		t.Errorf("Clone must not share storage")
+	}
+}
+
+func TestValueStringAndRaw(t *testing.T) {
+	if got := String("it's").String(); got != "'it''s'" {
+		t.Errorf("SQL quoting: got %s", got)
+	}
+	if got := String("plain").Raw(); got != "plain" {
+		t.Errorf("Raw: got %s", got)
+	}
+	if got := Int(-3).String(); got != "-3" {
+		t.Errorf("int: got %s", got)
+	}
+	if got := Null().String(); got != "NULL" {
+		t.Errorf("null: got %s", got)
+	}
+}
+
+func TestWidths(t *testing.T) {
+	if Int(1).Width() != 8 || Float(1).Width() != 8 {
+		t.Error("numeric width should be 8")
+	}
+	if String("abcd").Width() != 6 {
+		t.Errorf("string width = %d, want 6", String("abcd").Width())
+	}
+	r := Row{Int(1), String("ab")}
+	if r.Width() != 4+8+4 {
+		t.Errorf("row width = %d", r.Width())
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 || Float(2.5).AsFloat() != 2.5 || String("x").AsFloat() != 0 {
+		t.Error("AsFloat conversions wrong")
+	}
+}

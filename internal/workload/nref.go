@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// NREF2J generates the paper's NREF2J family: counting co-occurrences of
+// same-domain values across two tables, with both join columns restricted
+// to infrequent values (HAVING COUNT(*) < 4) to bound the join size.
+//
+//	SELECT r.ci1,...,r.ci3, r.c1, COUNT(*)
+//	FROM R r, S s
+//	WHERE r.c1 = s.c2
+//	  AND r.c1 IN (SELECT c1 FROM R GROUP BY c1 HAVING COUNT(*) < 4)
+//	  AND s.c2 IN (SELECT c2 FROM S GROUP BY c2 HAVING COUNT(*) < 4)
+//	GROUP BY r.ci1,...,r.ci3, r.c1
+func NREF2J(schema *catalog.Schema, src Source, opts Options) Family {
+	g := newGenerator(schema, src, opts)
+	fam := Family{Name: "NREF2J"}
+	fam.UnrestrictedSize = unrestrictedPairFamilySize(schema, 3)
+
+	for _, pr := range g.domainPairs() {
+		r := schema.Table(pr.A.Table)
+		for _, gb := range g.groupByChoices(r, pr.A.Column) {
+			var sel []string
+			var grp []string
+			for _, c := range gb {
+				sel = append(sel, "r."+c)
+				grp = append(grp, "r."+c)
+			}
+			sel = append(sel, "r."+pr.A.Column)
+			grp = append(grp, "r."+pr.A.Column)
+			q := fmt.Sprintf(
+				"SELECT %s, COUNT(*) FROM %s r, %s s WHERE r.%s = s.%s"+
+					" AND r.%s IN (SELECT %s FROM %s GROUP BY %s HAVING COUNT(*) < 4)"+
+					" AND s.%s IN (SELECT %s FROM %s GROUP BY %s HAVING COUNT(*) < 4)"+
+					" GROUP BY %s",
+				strings.Join(sel, ", "), pr.A.Table, pr.B.Table,
+				pr.A.Column, pr.B.Column,
+				pr.A.Column, pr.A.Column, pr.A.Table, pr.A.Column,
+				pr.B.Column, pr.B.Column, pr.B.Table, pr.B.Column,
+				strings.Join(grp, ", "))
+			fam.Queries = append(fam.Queries, Query{SQL: q, Family: fam.Name})
+		}
+	}
+	return fam
+}
+
+// NREF3J generates the paper's NREF3J family, the generalization of the
+// Example 1 self-join pattern:
+//
+//	SELECT r1.ci1,...,r1.ci3, r1.c1, COUNT(DISTINCT r2.c2)
+//	FROM R r1, R r2, S s
+//	WHERE r1.c1 = r2.c1 AND r1.c2 = s.c3 AND s.c4 = k
+//	GROUP BY r1.ci1,...,r1.ci3, r1.c1
+//
+// Constants k follow the k1/k2/k3 frequency rule (§3.2.2): the most
+// selective value plus values one and two orders of magnitude more
+// frequent.
+func NREF3J(schema *catalog.Schema, src Source, opts Options) Family {
+	g := newGenerator(schema, src, opts)
+	fam := Family{Name: "NREF3J"}
+	fam.UnrestrictedSize = unrestrictedSelfJoinFamilySize(schema, 3)
+
+	for _, rt := range schema.Tables() {
+		selfCols := g.usableCols(rt)
+		if len(selfCols) > 2 {
+			selfCols = selfCols[:2] // restriction: fewer self-join columns
+		}
+		for _, c1 := range selfCols {
+			// (r.c2, s.c3) pairs where the R side is this table.
+			var pairs []pairRef
+			for _, pr := range g.domainPairs() {
+				if strings.EqualFold(pr.A.Table, rt.Name) && !strings.EqualFold(pr.A.Column, c1) {
+					pairs = append(pairs, pr)
+				}
+				if len(pairs) == 3 { // restriction: few join targets
+					break
+				}
+			}
+			for _, pr := range pairs {
+				st := schema.Table(pr.B.Table)
+				// Selection columns of S with a usable constant triple.
+				var selCols []string
+				for _, c4 := range g.usableCols(st) {
+					if strings.EqualFold(c4, pr.B.Column) {
+						continue
+					}
+					if g.constants(st.Name, st.ColumnIndex(c4)).ok {
+						selCols = append(selCols, c4)
+					}
+					if len(selCols) == 2 {
+						break
+					}
+				}
+				for _, c4 := range selCols {
+					tri := g.constants(st.Name, st.ColumnIndex(c4))
+					for ki := 0; ki < 3; ki++ {
+						if dupConstant(tri, ki) {
+							continue
+						}
+						for _, gb := range g.groupByChoices(rt, c1, pr.A.Column) {
+							var sel, grp []string
+							for _, c := range gb {
+								sel = append(sel, "r1."+c)
+								grp = append(grp, "r1."+c)
+							}
+							sel = append(sel, "r1."+c1)
+							grp = append(grp, "r1."+c1)
+							q := fmt.Sprintf(
+								"SELECT %s, COUNT(DISTINCT r2.%s) FROM %s r1, %s r2, %s s"+
+									" WHERE r1.%s = r2.%s AND r1.%s = s.%s AND s.%s = %s"+
+									" GROUP BY %s",
+								strings.Join(sel, ", "), pr.A.Column,
+								rt.Name, rt.Name, st.Name,
+								c1, c1, pr.A.Column, pr.B.Column,
+								c4, tri.vals[ki].String(),
+								strings.Join(grp, ", "))
+							fam.Queries = append(fam.Queries, Query{SQL: q, Family: fam.Name})
+						}
+					}
+				}
+			}
+		}
+	}
+	return dedup(fam)
+}
+
+// dupConstant reports whether the ki-th constant equals an earlier one in
+// the triple (columns with compressed frequency spectra can repeat values).
+func dupConstant(tri freqTriple, ki int) bool {
+	for j := 0; j < ki; j++ {
+		if tri.vals[j].String() == tri.vals[ki].String() {
+			return true
+		}
+	}
+	return false
+}
+
+// dedup removes textually identical queries, preserving order.
+func dedup(f Family) Family {
+	seen := make(map[string]bool, len(f.Queries))
+	out := f.Queries[:0]
+	for _, q := range f.Queries {
+		if seen[q.SQL] {
+			continue
+		}
+		seen[q.SQL] = true
+		out = append(out, q)
+	}
+	f.Queries = out
+	return f
+}
+
+// unrestrictedPairFamilySize counts the NREF2J combinatorial space before
+// restrictions: every same-domain cross-table column pair times every
+// GROUP BY subset of up to maxGB other indexable columns of R.
+func unrestrictedPairFamilySize(schema *catalog.Schema, maxGB int) int64 {
+	var total int64
+	for _, cols := range schema.DomainColumns() {
+		for _, a := range cols {
+			for _, b := range cols {
+				if strings.EqualFold(a.Table, b.Table) {
+					continue
+				}
+				n := len(schema.Table(a.Table).IndexableColumns()) - 1
+				total += subsetsUpTo(n, maxGB)
+			}
+		}
+	}
+	return total
+}
+
+// unrestrictedSelfJoinFamilySize counts the NREF3J combinatorial space:
+// every (R, c1), same-domain (R.c2, S.c3) pair, selection column c4 of S,
+// three constants, and every GROUP BY subset.
+func unrestrictedSelfJoinFamilySize(schema *catalog.Schema, maxGB int) int64 {
+	domains := schema.DomainColumns()
+	var total int64
+	for _, rt := range schema.Tables() {
+		rCols := rt.IndexableColumns()
+		for range rCols { // choice of c1
+			for _, cols := range domains {
+				for _, a := range cols {
+					if !strings.EqualFold(a.Table, rt.Name) {
+						continue
+					}
+					for _, b := range cols {
+						if strings.EqualFold(b.Table, rt.Name) {
+							continue
+						}
+						st := schema.Table(b.Table)
+						nSel := len(st.IndexableColumns()) - 1
+						if nSel < 0 {
+							nSel = 0
+						}
+						total += int64(nSel) * 3 * subsetsUpTo(len(rCols)-2, maxGB)
+					}
+				}
+			}
+		}
+	}
+	return total
+}
+
+// subsetsUpTo returns sum_{k=0..maxK} C(n, k).
+func subsetsUpTo(n, maxK int) int64 {
+	if n < 0 {
+		return 1
+	}
+	var total int64
+	for k := 0; k <= maxK && k <= n; k++ {
+		total += choose(n, k)
+	}
+	return total
+}
+
+func choose(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := int64(1)
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+	}
+	return c
+}

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// fkJoin is a PK/FK correspondence between two tables.
+type fkJoin struct {
+	FKTable string
+	PKTable string
+	Preds   []string // rendered "r.x = s.y" fragments with r = FK side
+}
+
+// fkJoins enumerates the schema's foreign-key relationships.
+func fkJoins(schema *catalog.Schema) []fkJoin {
+	var out []fkJoin
+	for _, t := range schema.Tables() {
+		for _, fk := range t.ForeignKeys {
+			j := fkJoin{FKTable: t.Name, PKTable: fk.RefTable}
+			for i := range fk.Columns {
+				j.Preds = append(j.Preds, fmt.Sprintf("r.%s = s.%s", fk.Columns[i], fk.RefColumns[i]))
+			}
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// nonKeyCols returns the usable columns of a table that participate in no
+// primary or foreign key (the templates join S and T on "non-key columns
+// from the same domain").
+func (g *generator) nonKeyCols(t *catalog.Table) map[string]bool {
+	keyed := make(map[string]bool)
+	for _, c := range t.PrimaryKey {
+		keyed[strings.ToLower(c)] = true
+	}
+	for _, fk := range t.ForeignKeys {
+		for _, c := range fk.Columns {
+			keyed[strings.ToLower(c)] = true
+		}
+	}
+	out := make(map[string]bool)
+	for _, c := range g.usableCols(t) {
+		if !keyed[strings.ToLower(c)] {
+			out[strings.ToLower(c)] = true
+		}
+	}
+	return out
+}
+
+// TH3JOptions selects the SkTH3J/SkTH3Js variants.
+type TH3JOptions struct {
+	Options
+	// Simple restricts R, S, T to Lineitem, Orders and Partsupp and uses
+	// only equality θ predicates (family SkTH3Js).
+	Simple bool
+	Name   string
+}
+
+// TH3J generates the three-way-join TPC-H families (paper §3.2.2):
+//
+//	SELECT t.ci1,...,t.ci4, COUNT(*)
+//	FROM R r, S s, T t
+//	WHERE r.cp1 = s.cf1 AND ... AND s.c1 = t.c2 AND θ(s.c3)
+//	GROUP BY t.ci1,...,t.ci4
+//
+// R⋈S is a PK/FK join; S⋈T joins non-key columns in the same domain;
+// θ(s.c3) is s.c3 = p, or s.c3 IN (SELECT c3 FROM S GROUP BY c3 HAVING
+// COUNT(*) = p) in the general family. The three constants per binding
+// produce intermediate results whose sizes differ by roughly an order of
+// magnitude each (the k1/k2/k3 rule).
+func TH3J(schema *catalog.Schema, src Source, opts TH3JOptions) Family {
+	if opts.MaxGroupByCols == 0 {
+		opts.Options = DefaultOptions()
+	}
+	opts.MaxGroupByCols = 4
+	g := newGenerator(schema, src, opts.Options)
+	fam := Family{Name: opts.Name}
+	fam.UnrestrictedSize = unrestrictedTH3JSize(schema, opts.Simple)
+
+	simpleSet := map[string]bool{"lineitem": true, "orders": true, "partsupp": true}
+
+	// Each PK/FK relationship is used in both orientations: S (the middle
+	// table, carrying θ and the join to T) may be either side.
+	type rsPair struct {
+		rName string
+		s     *catalog.Table
+		preds []string
+	}
+	var rsPairs []rsPair
+	for _, fj := range fkJoins(schema) {
+		if opts.Simple && (!simpleSet[strings.ToLower(fj.FKTable)] || !simpleSet[strings.ToLower(fj.PKTable)]) {
+			continue
+		}
+		rsPairs = append(rsPairs,
+			rsPair{rName: fj.FKTable, s: schema.Table(fj.PKTable), preds: fj.Preds},
+			rsPair{rName: fj.PKTable, s: schema.Table(fj.FKTable), preds: flipPreds(fj.Preds)})
+	}
+
+	for _, rs := range rsPairs {
+		st := rs.s
+		rtName := rs.rName
+		// S ⋈ T on same-domain non-key columns.
+		sNonKey := g.nonKeyCols(st)
+		for _, pr := range g.domainPairs() {
+			if !strings.EqualFold(pr.A.Table, st.Name) {
+				continue
+			}
+			if strings.EqualFold(pr.B.Table, rtName) || strings.EqualFold(pr.B.Table, st.Name) {
+				continue
+			}
+			if opts.Simple && !simpleSet[strings.ToLower(pr.B.Table)] {
+				continue
+			}
+			if !sNonKey[strings.ToLower(pr.A.Column)] {
+				continue
+			}
+			tt := schema.Table(pr.B.Table)
+			tNonKey := g.nonKeyCols(tt)
+			if !tNonKey[strings.ToLower(pr.B.Column)] {
+				continue
+			}
+
+			// θ selection columns of S with usable constant triples.
+			var selCols []string
+			for _, c3 := range g.usableCols(st) {
+				if strings.EqualFold(c3, pr.A.Column) {
+					continue
+				}
+				if g.constants(st.Name, st.ColumnIndex(c3)).ok {
+					selCols = append(selCols, c3)
+				}
+				if len(selCols) == 2 {
+					break
+				}
+			}
+			for _, c3 := range selCols {
+				tri := g.constants(st.Name, st.ColumnIndex(c3))
+				for ki := 0; ki < 3; ki++ {
+					if dupConstant(tri, ki) {
+						continue
+					}
+					theta := fmt.Sprintf("s.%s = %s", c3, tri.vals[ki].String())
+					if !opts.Simple && ki == 2 {
+						// The general family mixes in the frequency-based
+						// IN form for the heaviest constant.
+						theta = fmt.Sprintf(
+							"s.%s IN (SELECT %s FROM %s GROUP BY %s HAVING COUNT(*) = %d)",
+							c3, c3, st.Name, c3, tri.freqs[0])
+					}
+					for _, gb := range g.groupByChoices(tt, pr.B.Column) {
+						var sel, grp []string
+						for _, c := range gb {
+							sel = append(sel, "t."+c)
+							grp = append(grp, "t."+c)
+						}
+						if len(grp) == 0 {
+							sel = append(sel, "t."+pr.B.Column)
+							grp = append(grp, "t."+pr.B.Column)
+						}
+						q := fmt.Sprintf(
+							"SELECT %s, COUNT(*) FROM %s r, %s s, %s t WHERE %s AND s.%s = t.%s AND %s GROUP BY %s",
+							strings.Join(sel, ", "),
+							rtName, st.Name, tt.Name,
+							strings.Join(rs.preds, " AND "),
+							pr.A.Column, pr.B.Column, theta,
+							strings.Join(grp, ", "))
+						fam.Queries = append(fam.Queries, Query{SQL: q, Family: fam.Name})
+					}
+				}
+			}
+		}
+	}
+	return dedup(fam)
+}
+
+// flipPreds rewrites "r.x = s.y" fragments as "r.y = s.x" for the
+// reversed R/S orientation.
+func flipPreds(preds []string) []string {
+	out := make([]string, len(preds))
+	for i, p := range preds {
+		parts := strings.SplitN(p, " = ", 2)
+		l := strings.TrimPrefix(parts[0], "r.")
+		r := strings.TrimPrefix(parts[1], "s.")
+		out[i] = "r." + r + " = s." + l
+	}
+	return out
+}
+
+// SkTH3J builds the general skewed-TPC-H family.
+func SkTH3J(schema *catalog.Schema, src Source, opts Options) Family {
+	return TH3J(schema, src, TH3JOptions{Options: opts, Name: "SkTH3J"})
+}
+
+// SkTH3Js builds the simpler Lineitem/Orders/Partsupp family.
+func SkTH3Js(schema *catalog.Schema, src Source, opts Options) Family {
+	return TH3J(schema, src, TH3JOptions{Options: opts, Simple: true, Name: "SkTH3Js"})
+}
+
+// UnTH3J builds the SkTH3J templates against a uniform database (the
+// constants differ because the frequency analysis sees uniform data).
+func UnTH3J(schema *catalog.Schema, src Source, opts Options) Family {
+	opts.RelaxedConstants = true
+	return TH3J(schema, src, TH3JOptions{Options: opts, Name: "UnTH3J"})
+}
+
+// unrestrictedTH3JSize counts the combinatorial space before restrictions.
+func unrestrictedTH3JSize(schema *catalog.Schema, simple bool) int64 {
+	simpleSet := map[string]bool{"lineitem": true, "orders": true, "partsupp": true}
+	var total int64
+	domains := schema.DomainColumns()
+	for _, fj := range fkJoins(schema) {
+		if simple && (!simpleSet[strings.ToLower(fj.FKTable)] || !simpleSet[strings.ToLower(fj.PKTable)]) {
+			continue
+		}
+		st := schema.Table(fj.PKTable)
+		for _, cols := range domains {
+			for _, a := range cols {
+				if !strings.EqualFold(a.Table, st.Name) {
+					continue
+				}
+				for _, b := range cols {
+					if strings.EqualFold(b.Table, fj.FKTable) || strings.EqualFold(b.Table, st.Name) {
+						continue
+					}
+					if simple && !simpleSet[strings.ToLower(b.Table)] {
+						continue
+					}
+					tt := schema.Table(b.Table)
+					nSel := len(st.IndexableColumns()) - 1
+					if nSel < 0 {
+						nSel = 0
+					}
+					total += int64(nSel) * 3 * subsetsUpTo(len(tt.IndexableColumns())-1, 4)
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/val"
+)
+
+// memSource is a lightweight Source backed by generated heaps.
+type memSource struct {
+	schema *catalog.Schema
+	heaps  map[string]*storage.Heap
+}
+
+func newMemSource(schema *catalog.Schema) *memSource {
+	s := &memSource{schema: schema, heaps: make(map[string]*storage.Heap)}
+	for _, t := range schema.Tables() {
+		s.heaps[strings.ToLower(t.Name)] = storage.NewHeap(t)
+	}
+	return s
+}
+
+func (s *memSource) Heap(table string) *storage.Heap { return s.heaps[strings.ToLower(table)] }
+
+func (s *memSource) Load(table string, rows []val.Row) error {
+	h := s.Heap(table)
+	for _, r := range rows {
+		if _, err := h.Insert(nil, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func nrefSource(t *testing.T) (*catalog.Schema, *memSource) {
+	t.Helper()
+	schema := catalog.NREF()
+	src := newMemSource(schema)
+	if err := datagen.GenerateNREF(src, datagen.NREFOptions{ScaleFactor: 0.0001, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	return schema, src
+}
+
+func tpchSource(t *testing.T, skew bool) (*catalog.Schema, *memSource) {
+	t.Helper()
+	schema := catalog.TPCH()
+	src := newMemSource(schema)
+	if err := datagen.GenerateTPCH(src, datagen.TPCHOptions{ScaleFactor: 0.0001, Seed: 7, Skew: skew, ZipfS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return schema, src
+}
+
+// checkFamily validates that every generated query parses, analyzes, and
+// has the expected structural shape.
+func checkFamily(t *testing.T, schema *catalog.Schema, fam Family, minSize int, wantTables int) {
+	t.Helper()
+	if len(fam.Queries) < minSize {
+		t.Fatalf("%s has only %d queries, want >= %d", fam.Name, len(fam.Queries), minSize)
+	}
+	if fam.UnrestrictedSize <= int64(len(fam.Queries)) {
+		t.Errorf("%s unrestricted size %d should exceed restricted %d",
+			fam.Name, fam.UnrestrictedSize, len(fam.Queries))
+	}
+	seen := make(map[string]bool)
+	for _, q := range fam.Queries {
+		if seen[q.SQL] {
+			t.Errorf("%s: duplicate query %s", fam.Name, q.SQL)
+		}
+		seen[q.SQL] = true
+		stmt, err := sql.ParseSelect(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v\nquery: %s", fam.Name, err, q.SQL)
+		}
+		aq, err := sql.Analyze(schema, stmt)
+		if err != nil {
+			t.Fatalf("%s: %v\nquery: %s", fam.Name, err, q.SQL)
+		}
+		if len(aq.Tables) != wantTables {
+			t.Errorf("%s: query has %d tables, want %d: %s", fam.Name, len(aq.Tables), wantTables, q.SQL)
+		}
+		if len(aq.GroupBy) == 0 || len(aq.Aggs) == 0 {
+			t.Errorf("%s: query must group and aggregate: %s", fam.Name, q.SQL)
+		}
+	}
+}
+
+func TestNREF2J(t *testing.T) {
+	schema, src := nrefSource(t)
+	fam := NREF2J(schema, src, DefaultOptions())
+	checkFamily(t, schema, fam, 100, 2)
+	// Every query carries the two HAVING COUNT(*) < 4 restrictions.
+	for _, q := range fam.Queries[:5] {
+		if strings.Count(q.SQL, "HAVING COUNT(*) < 4") != 2 {
+			t.Errorf("NREF2J query missing IN restrictions: %s", q.SQL)
+		}
+	}
+}
+
+func TestNREF3J(t *testing.T) {
+	schema, src := nrefSource(t)
+	fam := NREF3J(schema, src, DefaultOptions())
+	checkFamily(t, schema, fam, 100, 3)
+	for _, q := range fam.Queries[:5] {
+		if !strings.Contains(q.SQL, "COUNT(DISTINCT") {
+			t.Errorf("NREF3J query missing COUNT(DISTINCT): %s", q.SQL)
+		}
+	}
+}
+
+func TestSkTH3J(t *testing.T) {
+	schema, src := tpchSource(t, true)
+	fam := SkTH3J(schema, src, DefaultOptions())
+	checkFamily(t, schema, fam, 60, 3)
+}
+
+func TestSkTH3Js(t *testing.T) {
+	schema, src := tpchSource(t, true)
+	fam := SkTH3Js(schema, src, DefaultOptions())
+	checkFamily(t, schema, fam, 12, 3)
+	set := map[string]bool{"lineitem": true, "orders": true, "partsupp": true}
+	for _, q := range fam.Queries {
+		stmt, _ := sql.ParseSelect(q.SQL)
+		for _, tr := range stmt.From {
+			if !set[strings.ToLower(tr.Table)] {
+				t.Errorf("SkTH3Js uses table %s outside the restricted set: %s", tr.Table, q.SQL)
+			}
+		}
+		if strings.Contains(q.SQL, "HAVING") {
+			t.Errorf("SkTH3Js must use only equality θ predicates: %s", q.SQL)
+		}
+	}
+}
+
+func TestUnTH3J(t *testing.T) {
+	schema, src := tpchSource(t, false)
+	fam := UnTH3J(schema, src, DefaultOptions())
+	checkFamily(t, schema, fam, 60, 3)
+}
+
+func TestConstantsRule(t *testing.T) {
+	schema, src := nrefSource(t)
+	g := newGenerator(schema, src, DefaultOptions())
+	tab := schema.Table("taxonomy")
+	tri := g.constants("taxonomy", tab.ColumnIndex("taxon_id"))
+	if !tri.ok {
+		t.Fatal("taxon_id should have a usable constant triple")
+	}
+	if !(tri.freqs[0] <= tri.freqs[1] && tri.freqs[1] <= tri.freqs[2]) {
+		t.Errorf("frequencies not increasing: %v", tri.freqs)
+	}
+	if tri.freqs[2] < tri.freqs[0]*4 {
+		t.Errorf("k3 frequency %d not well above k1 %d", tri.freqs[2], tri.freqs[0])
+	}
+}
+
+func TestSamplePreservesDistribution(t *testing.T) {
+	schema, src := nrefSource(t)
+	fam := NREF2J(schema, src, DefaultOptions())
+	// Cost proxy: query length (deterministic, monotone for the test).
+	costOf := func(s string) float64 { return float64(len(s)) }
+	sample := fam.Sample(50, costOf, 1)
+	if len(sample.Queries) != 50 {
+		t.Fatalf("sample size %d", len(sample.Queries))
+	}
+	// Median of sample should be near the family median under the proxy.
+	med := func(qs []Query) float64 {
+		costs := make([]float64, len(qs))
+		for i, q := range qs {
+			costs[i] = costOf(q.SQL)
+		}
+		for i := range costs {
+			for j := i + 1; j < len(costs); j++ {
+				if costs[j] < costs[i] {
+					costs[i], costs[j] = costs[j], costs[i]
+				}
+			}
+		}
+		return costs[len(costs)/2]
+	}
+	famMed, samMed := med(fam.Queries), med(sample.Queries)
+	if samMed < famMed*0.7 || samMed > famMed*1.3 {
+		t.Errorf("sample median %.0f far from family median %.0f", samMed, famMed)
+	}
+	// Sampling fewer than the family size returns the family unchanged.
+	if got := fam.Sample(len(fam.Queries)+10, costOf, 1); len(got.Queries) != len(fam.Queries) {
+		t.Errorf("oversized sample should return the family")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	schema, src := nrefSource(t)
+	f1 := NREF2J(schema, src, DefaultOptions())
+	f2 := NREF2J(schema, src, DefaultOptions())
+	if len(f1.Queries) != len(f2.Queries) {
+		t.Fatal("family generation must be deterministic")
+	}
+	for i := range f1.Queries {
+		if f1.Queries[i].SQL != f2.Queries[i].SQL {
+			t.Fatalf("query %d differs between runs", i)
+		}
+	}
+}
+
+func TestUsableColsPreferNonKey(t *testing.T) {
+	schema, src := nrefSource(t)
+	g := newGenerator(schema, src, DefaultOptions())
+	cols := g.usableCols(schema.Table("taxonomy"))
+	if len(cols) == 0 {
+		t.Fatal("no usable columns")
+	}
+	// taxonomy's PK is (nref_id, taxon_id): the leading usable columns
+	// must be non-key (lineage, species_name, common_name).
+	for _, c := range cols[:2] {
+		if c == "nref_id" || c == "taxon_id" {
+			t.Errorf("PK column %s should sort after non-key columns: %v", c, cols)
+		}
+	}
+}
+
+func TestFamiliesAvoidNonIndexableColumns(t *testing.T) {
+	schema, src := nrefSource(t)
+	for _, fam := range []Family{
+		NREF2J(schema, src, DefaultOptions()),
+		NREF3J(schema, src, DefaultOptions()),
+	} {
+		for _, q := range fam.Queries {
+			if strings.Contains(q.SQL, "sequence") {
+				t.Errorf("%s query uses the non-indexable sequence column: %s", fam.Name, q.SQL)
+			}
+		}
+	}
+}
