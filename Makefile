@@ -1,0 +1,26 @@
+# Tier-1 verify plus the concurrency gate. `make verify` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench fuzz verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run is part of verify: the engine's read path is exercised by
+# 32 concurrent goroutines against a config-applying writer (see
+# internal/engine/race_test.go); full-scale golden tests skip themselves
+# under the detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+fuzz:
+	$(GO) test ./internal/sql/ -fuzz=FuzzParse -fuzztime=30s
+
+verify: build test race

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"sync"
 	"testing"
 
@@ -18,6 +19,13 @@ import (
 // benchScale trades fidelity for speed in `go test -bench`; cmd/autobench
 // defaults to 0.0005.
 const benchScale = 0.0002
+
+// benchParallel bounds the per-workload query fan-out (0 = GOMAXPROCS,
+// 1 = sequential). `-parallel` collides with the testing package's own
+// flag at the go-tool level, so pass it after `-args`:
+//
+//	go test -bench=. -args -parallel 4
+var benchParallel = flag.Int("parallel", 0, "workload query parallelism for benchmarks (0 = GOMAXPROCS)")
 
 var (
 	labOnce sync.Once
@@ -30,6 +38,7 @@ func sharedLab() *bench.Lab {
 	labOnce.Do(func() {
 		lab = bench.NewLab(benchScale, 42)
 		lab.WorkloadSize = 30
+		lab.Parallelism = *benchParallel
 	})
 	return lab
 }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	autobench [-scale f] [-seed n] [-size n] [-exp id[,id...]] [-list]
+//	autobench [-scale f] [-seed n] [-size n] [-parallel n] [-exp id[,id...]] [-list]
 //
 // With no -exp it runs every experiment in paper order. Experiment IDs
 // are listed by -list (fig1..fig11, table1..table3, lowerbounds,
@@ -24,6 +24,7 @@ func main() {
 	scale := flag.Float64("scale", 0.0005, "data scale factor relative to the paper's databases")
 	seed := flag.Int64("seed", 42, "generator seed")
 	size := flag.Int("size", 100, "queries per workload sample")
+	parallel := flag.Int("parallel", 0, "workload query parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
@@ -38,6 +39,7 @@ func main() {
 
 	lab := bench.NewLab(*scale, *seed)
 	lab.WorkloadSize = *size
+	lab.Parallelism = *parallel
 
 	var selected []bench.Experiment
 	if *exp == "" {

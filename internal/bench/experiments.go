@@ -334,12 +334,13 @@ func insertions(l *Lab) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		l.mu.Lock()
-		l.applyLocked(sys, DBNref, "1C", conf.Configuration{})
+		em := l.lockEngine(sys, DBNref)
+		em.Lock()
+		l.apply(sys, DBNref, "1C", conf.Configuration{})
 		ins1C := e.InsertCostPerRow("neighboring_seq")
-		l.applyLocked(sys, DBNref, "R:NREF2J", cfgR)
+		l.apply(sys, DBNref, "R:NREF2J", cfgR)
 		insR := e.InsertCostPerRow("neighboring_seq")
-		l.mu.Unlock()
+		em.Unlock()
 
 		extra := ins1C - insR
 		if extra <= 0 || queryGain <= 0 {
@@ -421,7 +422,7 @@ func ablationWhatIf(l *Lab) (string, error) {
 	if _, err := e.ApplyConfig(rec); err != nil {
 		return "", err
 	}
-	msIdeal, err := core.RunWorkload(e, fam.SQLs(), Timeout)
+	msIdeal, err := l.runner().RunWorkload(e, fam.SQLs(), Timeout)
 	if err != nil {
 		return "", err
 	}
@@ -446,19 +447,19 @@ func ablationWhatIf(l *Lab) (string, error) {
 func ablationBudget(l *Lab) (string, error) {
 	e := l.Engine("B", DBNref)
 	fam := l.Workload("B", "NREF2J")
-	l.mu.Lock()
-	l.applyLocked("B", DBNref, "P", conf.Configuration{})
-	l.mu.Unlock()
 	budget := l.Budget("B", DBNref)
+	em := l.lockEngine("B", DBNref)
+	em.Lock()
+	l.apply("B", DBNref, "P", conf.Configuration{})
 	recBig, err := newRecommender(e, "B").Recommend(fam.SQLs(), budget*4)
 	if err != nil {
+		em.Unlock()
 		return "", err
 	}
 	recBig.Name = "B NREF2J R (4x budget)"
-	l.mu.Lock()
-	l.applyLocked("B", DBNref, "Rbig:NREF2J", recBig)
-	ms, err := core.RunWorkload(e, fam.SQLs(), Timeout)
-	l.mu.Unlock()
+	l.apply("B", DBNref, "Rbig:NREF2J", recBig)
+	ms, err := l.runner().RunWorkload(e, fam.SQLs(), Timeout)
+	em.Unlock()
 	if err != nil {
 		return "", err
 	}
@@ -486,6 +487,11 @@ func ablationDisk(l *Lab) (string, error) {
 	fmt.Fprintf(&sb, "  %-22s %12s %12s %8s\n", "random-page cost", "P total", "1C total", "P/1C")
 	e := l.Engine("A", DBNref)
 	fam := l.Workload("A", "NREF2J")
+	// Mutating e.Model requires exclusive use of the engine: hold the
+	// cell lock for the whole sweep (restore runs before the unlock).
+	em := l.lockEngine("A", DBNref)
+	em.Lock()
+	defer em.Unlock()
 	baseModel := e.Model
 	defer func() { e.Model = baseModel }()
 	for _, div := range []float64{1, 10, 100} {
@@ -494,10 +500,8 @@ func ablationDisk(l *Lab) (string, error) {
 		e.Model = m
 		var totals []float64
 		for _, cn := range []string{"P", "1C"} {
-			l.mu.Lock()
-			l.applyLocked("A", DBNref, cn, conf.Configuration{})
-			ms, err := core.RunWorkload(e, fam.SQLs(), Timeout)
-			l.mu.Unlock()
+			l.apply("A", DBNref, cn, conf.Configuration{})
+			ms, err := l.runner().RunWorkload(e, fam.SQLs(), Timeout)
 			if err != nil {
 				return "", err
 			}
@@ -534,9 +538,10 @@ func transitions(l *Lab) (string, error) {
 		{"1C -> P", p},
 		{"P -> 1C", oneC},
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.applyLocked("B", DBNref, "P", conf.Configuration{})
+	em := l.lockEngine("B", DBNref)
+	em.Lock()
+	defer em.Unlock()
+	l.apply("B", DBNref, "P", conf.Configuration{})
 	for _, st := range steps {
 		w := e.NewWhatIf()
 		et, err := w.EstimateTransition(st.to)
@@ -550,7 +555,9 @@ func transitions(l *Lab) (string, error) {
 		fmt.Fprintf(&sb, "  %-22s %10.1f %10.1f\n", st.name, et/60, rep.BuildSeconds/60)
 	}
 	// Leave the engine in a named state for subsequent experiments.
+	l.mu.Lock()
 	l.current["B:"+DBNref] = "1C"
+	l.mu.Unlock()
 	sb.WriteString("\nIncremental AT is far below rebuilding from scratch when\nconfigurations overlap — the observe/react loop gets cheaper.\n")
 	return sb.String(), nil
 }

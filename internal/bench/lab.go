@@ -25,6 +25,14 @@ const Timeout = core.DefaultTimeout
 // loaded once per (system, database), workloads sampled once per family,
 // recommendations computed once, and workload runs cached per
 // configuration.
+//
+// A Lab is safe for concurrent use. Each (system, database) cell has its
+// own mutex so that the engine's configuration cannot change underneath a
+// running experiment; independent cells proceed concurrently, and the
+// queries within one workload run fan out over the lab's worker pool.
+// Lock ordering: a cell lock is always acquired before l.mu, and l.mu is
+// never held across engine work (data generation, config builds, query
+// runs).
 type Lab struct {
 	// Scale is the data scale factor relative to the paper's databases.
 	Scale float64
@@ -32,7 +40,13 @@ type Lab struct {
 	WorkloadSize int
 	Seed         int64
 
+	// Parallelism bounds the per-workload query fan-out: 0 means
+	// GOMAXPROCS, 1 runs queries sequentially. Results are identical
+	// either way (the simulated clock is per-query).
+	Parallelism int
+
 	mu        sync.Mutex
+	engMu     map[string]*sync.Mutex // per (system, database) cell
 	engines   map[string]*engine.Engine
 	workloads map[string]workload.Family
 	recs      map[string]recResult
@@ -53,6 +67,7 @@ func NewLab(scale float64, seed int64) *Lab {
 		Scale:        scale,
 		WorkloadSize: 100,
 		Seed:         seed,
+		engMu:        make(map[string]*sync.Mutex),
 		engines:      make(map[string]*engine.Engine),
 		workloads:    make(map[string]workload.Family),
 		recs:         make(map[string]recResult),
@@ -60,6 +75,24 @@ func NewLab(scale float64, seed int64) *Lab {
 		builds:       make(map[string]engine.BuildReport),
 		current:      make(map[string]string),
 	}
+}
+
+// runner returns the worker pool used for workload fan-out.
+func (l *Lab) runner() core.Runner { return core.Runner{Parallelism: l.Parallelism} }
+
+// lockEngine returns the mutex serializing use of one (system, database)
+// cell. Holding it guarantees the engine's configuration stays fixed for
+// the duration of an experiment step.
+func (l *Lab) lockEngine(sys, db string) *sync.Mutex {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := sys + ":" + db
+	m, ok := l.engMu[key]
+	if !ok {
+		m = new(sync.Mutex)
+		l.engMu[key] = m
+	}
+	return m
 }
 
 // Databases and systems.
@@ -96,17 +129,23 @@ func recConfigOf(sys string) recommender.Config {
 // Engine returns the loaded engine for a (system, database) pair, with
 // statistics collected and the P configuration applied initially.
 func (l *Lab) Engine(sys, db string) *engine.Engine {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.engineLocked(sys, db)
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
+	return l.engine(sys, db)
 }
 
-func (l *Lab) engineLocked(sys, db string) *engine.Engine {
+// engine loads (or returns) the cell's engine. The caller must hold the
+// cell lock; l.mu is taken only around map access so other cells can
+// load their databases concurrently.
+func (l *Lab) engine(sys, db string) *engine.Engine {
 	key := sys + ":" + db
-	if e, ok := l.engines[key]; ok {
+	l.mu.Lock()
+	e, ok := l.engines[key]
+	l.mu.Unlock()
+	if ok {
 		return e
 	}
-	var e *engine.Engine
 	switch db {
 	case DBNref:
 		e = engine.New(catalog.NREF(), l.Scale, profileOf(sys))
@@ -123,9 +162,11 @@ func (l *Lab) engineLocked(sys, db string) *engine.Engine {
 	e.CollectStats()
 	rep, err := e.ApplyConfig(engine.PConfiguration(e))
 	must(err)
+	l.mu.Lock()
 	l.current[key] = "P"
 	l.builds[key+":P"] = rep
 	l.engines[key] = e
+	l.mu.Unlock()
 	return e
 }
 
@@ -153,15 +194,26 @@ func dbOfFamily(family string) string {
 // that "preserves the distribution of elapsed times of the larger family",
 // §4.1.1, using estimates as the stratifier).
 func (l *Lab) Workload(sys, family string) workload.Family {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	db := dbOfFamily(family)
 	key := db + ":" + family
-	if f, ok := l.workloads[key]; ok {
+	l.mu.Lock()
+	f, ok := l.workloads[key]
+	l.mu.Unlock()
+	if ok {
 		return f
 	}
-	e := l.engineLocked(sys, db)
-	l.applyLocked(sys, db, "P", conf.Configuration{})
+
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
+	l.mu.Lock()
+	f, ok = l.workloads[key]
+	l.mu.Unlock()
+	if ok {
+		return f
+	}
+	e := l.engine(sys, db)
+	l.apply(sys, db, "P", conf.Configuration{})
 	fam := generateFamily(family, e, defaultFamilyOptions())
 	fam = fam.Sample(l.WorkloadSize, func(s string) float64 {
 		m, err := e.Estimate(s)
@@ -170,12 +222,15 @@ func (l *Lab) Workload(sys, family string) workload.Family {
 		}
 		return m.Seconds
 	}, l.Seed)
+	l.mu.Lock()
 	l.workloads[key] = fam
+	l.mu.Unlock()
 	return fam
 }
 
 // Budget returns the paper's storage budget: the estimated size difference
-// between 1C and P (§3.2.3).
+// between 1C and P (§3.2.3). The estimate derives only from base-table
+// statistics, so it needs no cell lock.
 func (l *Lab) Budget(sys, db string) int64 {
 	e := l.Engine(sys, db)
 	w := e.NewWhatIf()
@@ -199,15 +254,24 @@ func (l *Lab) Recommendation(sys, family string) (conf.Configuration, error) {
 	e := l.Engine(sys, db)
 	budget := l.Budget(sys, db)
 
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.applyLocked(sys, db, "P", conf.Configuration{})
+	if r, ok := l.recs[key]; ok {
+		l.mu.Unlock()
+		return r.cfg, r.err
+	}
+	l.mu.Unlock()
+	l.apply(sys, db, "P", conf.Configuration{})
 	r := recommender.New(e, recConfigOf(sys))
 	cfg, err := r.Recommend(fam.SQLs(), budget)
 	if err == nil {
 		cfg.Name = fmt.Sprintf("%s %s R", sys, family)
 	}
+	l.mu.Lock()
 	l.recs[key] = recResult{cfg, err}
+	l.mu.Unlock()
 	return cfg, err
 }
 
@@ -227,13 +291,17 @@ func (l *Lab) Config(sys, db, name string) (conf.Configuration, error) {
 	return conf.Configuration{}, fmt.Errorf("bench: unknown configuration %q", name)
 }
 
-// applyLocked switches the engine to the named configuration if needed,
+// apply switches the engine to the named configuration if needed,
 // recording the build report the first time each configuration is built.
-func (l *Lab) applyLocked(sys, db, name string, cfg conf.Configuration) {
+// The caller must hold the cell lock.
+func (l *Lab) apply(sys, db, name string, cfg conf.Configuration) {
 	key := sys + ":" + db
-	e := l.engineLocked(sys, db)
+	e := l.engine(sys, db)
 	bkey := key + ":" + name
-	if l.current[key] == name {
+	l.mu.Lock()
+	cur := l.current[key]
+	l.mu.Unlock()
+	if cur == name {
 		return
 	}
 	if name == "P" {
@@ -243,23 +311,27 @@ func (l *Lab) applyLocked(sys, db, name string, cfg conf.Configuration) {
 	}
 	rep, err := e.ApplyConfig(cfg)
 	must(err)
+	l.mu.Lock()
 	if _, ok := l.builds[bkey]; !ok {
 		l.builds[bkey] = rep
 	}
 	l.current[key] = name
+	l.mu.Unlock()
 }
 
 // Run executes the family workload under the named configuration,
-// returning cached per-query measures A(q, C).
+// returning cached per-query measures A(q, C). Queries fan out over the
+// lab's worker pool; the cell lock keeps the configuration fixed for the
+// duration of the run.
 func (l *Lab) Run(sys, family, configName string) ([]core.Measure, error) {
 	db := dbOfFamily(family)
 	key := strings.Join([]string{sys, family, configName}, ":")
 	l.mu.Lock()
-	if ms, ok := l.runs[key]; ok {
-		l.mu.Unlock()
+	ms, ok := l.runs[key]
+	l.mu.Unlock()
+	if ok {
 		return ms, nil
 	}
-	l.mu.Unlock()
 
 	cfg, err := l.Config(sys, db, configName)
 	if err != nil {
@@ -267,14 +339,23 @@ func (l *Lab) Run(sys, family, configName string) ([]core.Measure, error) {
 	}
 	fam := l.Workload(sys, family)
 
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.applyLocked(sys, db, configName, cfg)
-	ms, err := core.RunWorkload(l.engineLocked(sys, db), fam.SQLs(), Timeout)
+	ms, ok = l.runs[key]
+	l.mu.Unlock()
+	if ok {
+		return ms, nil
+	}
+	l.apply(sys, db, configName, cfg)
+	ms, err = l.runner().RunWorkload(l.engine(sys, db), fam.SQLs(), Timeout)
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
 	l.runs[key] = ms
+	l.mu.Unlock()
 	return ms, nil
 }
 
@@ -287,10 +368,11 @@ func (l *Lab) Estimates(sys, family, configName string) ([]core.Measure, error) 
 		return nil, err
 	}
 	fam := l.Workload(sys, family)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.applyLocked(sys, db, configName, cfg)
-	return core.EstimateWorkload(l.engineLocked(sys, db), fam.SQLs())
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
+	l.apply(sys, db, configName, cfg)
+	return l.runner().EstimateWorkload(l.engine(sys, db), fam.SQLs())
 }
 
 // Hypotheticals returns H(q, Ch, P): what-if estimates for the named
@@ -302,10 +384,11 @@ func (l *Lab) Hypotheticals(sys, family, configName string) ([]core.Measure, err
 		return nil, err
 	}
 	fam := l.Workload(sys, family)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.applyLocked(sys, db, "P", conf.Configuration{})
-	return core.WhatIfWorkload(l.engineLocked(sys, db), fam.SQLs(), cfg)
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
+	l.apply(sys, db, "P", conf.Configuration{})
+	return l.runner().WhatIfWorkload(l.engine(sys, db), fam.SQLs(), cfg)
 }
 
 // CFC builds the cumulative frequency curve for a cached or fresh run.
@@ -324,14 +407,21 @@ func (l *Lab) BuildReport(sys, db, name string) (engine.BuildReport, error) {
 	if err != nil {
 		return engine.BuildReport{}, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
 	bkey := sys + ":" + db + ":" + name
-	if rep, ok := l.builds[bkey]; ok {
+	l.mu.Lock()
+	rep, ok := l.builds[bkey]
+	l.mu.Unlock()
+	if ok {
 		return rep, nil
 	}
-	l.applyLocked(sys, db, name, cfg)
-	return l.builds[bkey], nil
+	l.apply(sys, db, name, cfg)
+	l.mu.Lock()
+	rep = l.builds[bkey]
+	l.mu.Unlock()
+	return rep, nil
 }
 
 // defaultFamilyOptions returns the paper's enumeration restrictions.
@@ -371,8 +461,9 @@ func (l *Lab) ApplyNamed(sys, db, name string) error {
 	if err != nil {
 		return err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.applyLocked(sys, db, name, cfg)
+	em := l.lockEngine(sys, db)
+	em.Lock()
+	defer em.Unlock()
+	l.apply(sys, db, name, cfg)
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// golden tests regenerate full-scale artifacts and would take many
+// minutes under the detector's ~10x slowdown, so they skip themselves.
+const raceEnabled = false

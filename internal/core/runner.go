@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/conf"
 	"repro/internal/engine"
@@ -10,50 +12,146 @@ import (
 // DefaultTimeout is the paper's per-query timeout: 30 minutes.
 const DefaultTimeout = 1800.0
 
+// Runner executes workloads with a bounded worker pool. Results are
+// deterministic and order-stable: measure i always belongs to query i,
+// and because the simulated clock is per-query, the measured times are
+// bit-for-bit identical no matter how many workers run — parallelism
+// changes wall-clock time, never the reported numbers.
+//
+// The zero value runs with GOMAXPROCS workers; Parallelism of 1 runs
+// inline on the calling goroutine (the exact sequential code path).
+type Runner struct {
+	// Parallelism is the maximum number of queries in flight at once.
+	// 0 or negative means runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// workers resolves the effective pool size.
+func (r Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// each runs fn(i) for i in [0, n) on the pool. Every index is processed
+// exactly once; on error the lowest-index error is returned, so the
+// reported failure is the one the sequential path would hit first.
+func (r Runner) each(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunWorkload executes every query under the engine's current
 // configuration with the timeout, returning the A(q, C) measures in
 // workload order.
-func RunWorkload(e *engine.Engine, queries []string, timeout float64) ([]Measure, error) {
-	out := make([]Measure, 0, len(queries))
-	for _, q := range queries {
-		_, m, err := e.Run(q, timeout)
+func (r Runner) RunWorkload(e *engine.Engine, queries []string, timeout float64) ([]Measure, error) {
+	out := make([]Measure, len(queries))
+	err := r.each(len(queries), func(i int) error {
+		_, m, err := e.Run(queries[i], timeout)
 		if err != nil {
-			return nil, fmt.Errorf("core: running %q: %w", q, err)
+			return fmt.Errorf("core: running %q: %w", queries[i], err)
 		}
-		out = append(out, Measure{SQL: q, Seconds: m.Seconds, TimedOut: m.TimedOut})
+		out[i] = Measure{SQL: queries[i], Seconds: m.Seconds, TimedOut: m.TimedOut}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // EstimateWorkload returns the optimizer estimates E(q, C) under the
 // current configuration.
-func EstimateWorkload(e *engine.Engine, queries []string) ([]Measure, error) {
-	out := make([]Measure, 0, len(queries))
-	for _, q := range queries {
-		m, err := e.Estimate(q)
+func (r Runner) EstimateWorkload(e *engine.Engine, queries []string) ([]Measure, error) {
+	out := make([]Measure, len(queries))
+	err := r.each(len(queries), func(i int) error {
+		m, err := e.Estimate(queries[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: estimating %q: %w", q, err)
+			return fmt.Errorf("core: estimating %q: %w", queries[i], err)
 		}
-		out = append(out, Measure{SQL: q, Seconds: m.Seconds})
+		out[i] = Measure{SQL: queries[i], Seconds: m.Seconds}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // WhatIfWorkload returns the hypothetical estimates H(q, Ch, Ca) for the
 // configuration Ch evaluated from the engine's current configuration.
-func WhatIfWorkload(e *engine.Engine, queries []string, hypo conf.Configuration) ([]Measure, error) {
+// One what-if session is shared by all workers, so the per-structure
+// statistics derivation is paid once; the session's caches are
+// internally synchronized.
+func (r Runner) WhatIfWorkload(e *engine.Engine, queries []string, hypo conf.Configuration) ([]Measure, error) {
 	w := e.NewWhatIf()
-	out := make([]Measure, 0, len(queries))
-	for _, qs := range queries {
-		q, err := e.AnalyzeSQL(qs)
+	out := make([]Measure, len(queries))
+	err := r.each(len(queries), func(i int) error {
+		q, err := e.AnalyzeSQL(queries[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: analyzing %q: %w", qs, err)
+			return fmt.Errorf("core: analyzing %q: %w", queries[i], err)
 		}
 		m, err := w.Estimate(q, hypo)
 		if err != nil {
-			return nil, fmt.Errorf("core: what-if %q: %w", qs, err)
+			return fmt.Errorf("core: what-if %q: %w", queries[i], err)
 		}
-		out = append(out, Measure{SQL: qs, Seconds: m.Seconds})
+		out[i] = Measure{SQL: queries[i], Seconds: m.Seconds}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// RunWorkload executes the workload sequentially (Runner with one worker).
+func RunWorkload(e *engine.Engine, queries []string, timeout float64) ([]Measure, error) {
+	return Runner{Parallelism: 1}.RunWorkload(e, queries, timeout)
+}
+
+// EstimateWorkload estimates the workload sequentially.
+func EstimateWorkload(e *engine.Engine, queries []string) ([]Measure, error) {
+	return Runner{Parallelism: 1}.EstimateWorkload(e, queries)
+}
+
+// WhatIfWorkload estimates the hypothetical workload sequentially.
+func WhatIfWorkload(e *engine.Engine, queries []string, hypo conf.Configuration) ([]Measure, error) {
+	return Runner{Parallelism: 1}.WhatIfWorkload(e, queries, hypo)
 }

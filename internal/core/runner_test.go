@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerWorkers(t *testing.T) {
+	if got := (Runner{}).workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("zero-value workers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Runner{Parallelism: -3}).workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative parallelism workers = %d", got)
+	}
+	if got := (Runner{Parallelism: 5}).workers(); got != 5 {
+		t.Errorf("workers = %d, want 5", got)
+	}
+}
+
+// TestRunnerEachCoversAllIndexes checks every index runs exactly once at
+// every pool size, including pools larger than the job count.
+func TestRunnerEachCoversAllIndexes(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 64} {
+		const n = 40
+		var counts [n]int32
+		err := Runner{Parallelism: par}.each(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", par, i, c)
+			}
+		}
+	}
+	if err := (Runner{Parallelism: 4}).each(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("each(0) = %v", err)
+	}
+}
+
+// TestRunnerEachLowestIndexError checks error determinism: whatever the
+// scheduling, the reported error is the one the sequential path would
+// hit first.
+func TestRunnerEachLowestIndexError(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		err := Runner{Parallelism: par}.each(50, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("odd %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "odd 1" {
+			t.Fatalf("parallelism %d: err = %v, want odd 1", par, err)
+		}
+	}
+}

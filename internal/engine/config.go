@@ -85,6 +85,8 @@ func SystemC() Profile {
 // maintained, matching the experiment (no NREF recommendation contains
 // views, Table 2).
 func (e *Engine) InsertRows(table string, rows []val.Row) (Measure, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	h := e.Heap(table)
 	if h == nil {
 		return Measure{}, fmt.Errorf("engine: unknown table %s", table)
@@ -125,6 +127,8 @@ func (e *Engine) insertRowCost(h *storage.Heap, numIndexes int) float64 {
 // InsertCostPerRow returns the simulated cost of one row insertion under
 // the current configuration without mutating state.
 func (e *Engine) InsertCostPerRow(table string) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	h := e.Heap(table)
 	if h == nil {
 		return 0

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/catalog"
@@ -43,6 +44,13 @@ type Profile struct {
 }
 
 // Engine is one database instance under one configuration.
+//
+// The read path — Run, Estimate, Prepare, Physical and what-if estimation
+// — is safe for concurrent use: readers share mu.RLock while
+// configuration changes (ApplyConfig, Transition, Load, InsertRows,
+// CollectStats) take the writer side and therefore observe no in-flight
+// queries. Model is an exported field and is not guarded: callers that
+// mutate it (the disk ablation) must hold exclusive use of the engine.
 type Engine struct {
 	Schema  *catalog.Schema
 	Profile Profile
@@ -54,7 +62,16 @@ type Engine struct {
 
 	heaps      map[string]*storage.Heap
 	tableOrder []string
-	tstats     map[string]*stats.TableStats
+
+	// mu serializes configuration changes (writers) against query
+	// execution and estimation (readers).
+	mu sync.RWMutex
+
+	// statsMu guards tstats on its own: the lazy collection in physical()
+	// runs under mu.RLock, so map access needs a separate lock. It is
+	// always innermost — nothing acquires mu while holding it.
+	statsMu sync.Mutex
+	tstats  map[string]*stats.TableStats
 
 	current conf.Configuration
 	indexes map[string][]*plan.IndexInfo // by lower-case relation name
@@ -95,6 +112,8 @@ func (e *Engine) Load(table string, rows []val.Row) error {
 	if h == nil {
 		return fmt.Errorf("engine: unknown table %s", table)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, r := range rows {
 		if _, err := h.Insert(nil, r); err != nil {
 			return err
@@ -107,24 +126,62 @@ func (e *Engine) Load(table string, rows []val.Row) error {
 // paper directs systems to collect statistics before recommending and
 // before running queries, §3.2.3).
 func (e *Engine) CollectStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for name, h := range e.heaps {
-		e.tstats[name] = stats.Collect(h)
+		ts := stats.Collect(h)
+		e.statsMu.Lock()
+		e.tstats[name] = ts
+		e.statsMu.Unlock()
 	}
 }
 
 // TableStats returns the collected statistics for a base table.
 func (e *Engine) TableStats(table string) *stats.TableStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	return e.tstats[strings.ToLower(table)]
 }
 
+// statsFor returns the memoized statistics for a heap, collecting them
+// lazily if the caller forgot. Safe under mu.RLock: duplicate collection
+// is deterministic and the first stored result wins.
+func (e *Engine) statsFor(name string, h *storage.Heap) *stats.TableStats {
+	e.statsMu.Lock()
+	ts := e.tstats[name]
+	e.statsMu.Unlock()
+	if ts != nil {
+		return ts
+	}
+	ts = stats.Collect(h)
+	e.statsMu.Lock()
+	if cur := e.tstats[name]; cur != nil {
+		ts = cur
+	} else {
+		e.tstats[name] = ts
+	}
+	e.statsMu.Unlock()
+	return ts
+}
+
 // Current returns the active configuration.
-func (e *Engine) Current() conf.Configuration { return e.current }
+func (e *Engine) Current() conf.Configuration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.current
+}
 
 // Views returns the materialized views of the active configuration.
-func (e *Engine) Views() []*plan.ViewInfo { return e.views }
+func (e *Engine) Views() []*plan.ViewInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.views
+}
 
 // Indexes returns the built indexes on a relation.
 func (e *Engine) Indexes(rel string) []*plan.IndexInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.indexes[strings.ToLower(rel)]
 }
 
@@ -144,6 +201,8 @@ type BuildReport struct {
 // new configuration's indexes and materialized views, returning size and
 // build-time figures.
 func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.indexes = make(map[string][]*plan.IndexInfo)
 	e.views = nil
 	e.current = c.Clone()
@@ -176,7 +235,7 @@ func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 	rep := BuildReport{
 		Config:       e.current,
 		IndexBytes:   extraBytes,
-		Bytes:        e.BaseBytes() + extraBytes,
+		Bytes:        e.baseBytes() + extraBytes,
 		BuildSeconds: e.Model.Seconds(&meter),
 	}
 	return rep, nil
@@ -184,6 +243,12 @@ func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 
 // BaseBytes returns the full-scale size of the base tables.
 func (e *Engine) BaseBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.baseBytes()
+}
+
+func (e *Engine) baseBytes() int64 {
 	var b int64
 	for _, h := range e.heaps {
 		b += int64(float64(h.Bytes()) / e.ScaleFactor)
@@ -361,18 +426,17 @@ func (e *Engine) physical(_ optimizer.Options) *plan.Physical {
 		Model:   e.Model,
 	}
 	for name, h := range e.heaps {
-		ts := e.tstats[name]
-		if ts == nil {
-			ts = stats.Collect(h) // lazily collect if the caller forgot
-			e.tstats[name] = ts
-		}
-		phys.Tables[name] = &plan.TableInfo{Table: h.Table, Heap: h, Stats: ts}
+		phys.Tables[name] = &plan.TableInfo{Table: h.Table, Heap: h, Stats: e.statsFor(name, h)}
 	}
 	return phys
 }
 
 // Physical exposes the current physical design (for the recommenders).
-func (e *Engine) Physical() *plan.Physical { return e.physical(e.Profile.Opts) }
+func (e *Engine) Physical() *plan.Physical {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.physical(e.Profile.Opts)
+}
 
 // Measure is one observed or estimated query cost.
 type Measure struct {
@@ -385,6 +449,13 @@ type Measure struct {
 // Prepare parses, analyzes and optimizes a query under the current
 // configuration.
 func (e *Engine) Prepare(sqlText string) (*plan.Plan, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.prepare(sqlText)
+}
+
+// prepare is Prepare without locking; the caller holds mu.
+func (e *Engine) prepare(sqlText string) (*plan.Plan, error) {
 	stmt, err := sql.ParseSelect(sqlText)
 	if err != nil {
 		return nil, err
@@ -400,7 +471,9 @@ func (e *Engine) Prepare(sqlText string) (*plan.Plan, error) {
 // simulated-time limit (0 = no limit), returning the result rows (nil on
 // timeout) and the measured cost A(q, C).
 func (e *Engine) Run(sqlText string, limitSeconds float64) (*exec.Result, Measure, error) {
-	p, err := e.Prepare(sqlText)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, err := e.prepare(sqlText)
 	if err != nil {
 		return nil, Measure{}, err
 	}
@@ -426,7 +499,9 @@ func (e *Engine) Run(sqlText string, limitSeconds float64) (*exec.Result, Measur
 // Estimate returns the optimizer's estimated cost E(q, C) of the query in
 // the current configuration.
 func (e *Engine) Estimate(sqlText string) (Measure, error) {
-	p, err := e.Prepare(sqlText)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, err := e.prepare(sqlText)
 	if err != nil {
 		return Measure{}, err
 	}

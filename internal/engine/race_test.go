@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersWithWriter hammers the engine's read path — Run,
+// Estimate and what-if estimation — from 32 goroutines while a writer
+// periodically applies configurations. It asserts nothing about the
+// values (determinism is covered elsewhere); its job is to put every
+// lock in the engine under pressure so `go test -race ./...` can prove
+// the discipline sound.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	e := testNREF(t, SystemA())
+	if _, err := e.ApplyConfig(PConfiguration(e)); err != nil {
+		t.Fatal(err)
+	}
+	configs := configsUnderTest(e)
+	hypo := OneColumnConfiguration(e)
+
+	const readers = 32
+	const iters = 6
+
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := e.NewWhatIf()
+			for i := 0; i < iters; i++ {
+				sqlText := testQueries[(g+i)%len(testQueries)]
+				switch g % 3 {
+				case 0:
+					if _, _, err := e.Run(sqlText, 1800); err != nil {
+						errc <- err
+						return
+					}
+				case 1:
+					if _, err := e.Estimate(sqlText); err != nil {
+						errc <- err
+						return
+					}
+				default:
+					q, err := e.AnalyzeSQL(sqlText)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if _, err := w.Estimate(q, hypo); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2*len(configs); i++ {
+			if _, err := e.ApplyConfig(configs[i%len(configs)]); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWhatIfSharedSession drives one shared what-if session
+// from many goroutines: the derivation caches must be internally
+// consistent (every goroutine sees the same derived estimate).
+func TestConcurrentWhatIfSharedSession(t *testing.T) {
+	e := testNREF(t, SystemB())
+	if _, err := e.ApplyConfig(PConfiguration(e)); err != nil {
+		t.Fatal(err)
+	}
+	hypo := OneColumnConfiguration(e)
+	w := e.NewWhatIf()
+
+	q, err := e.AnalyzeSQL(testQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.Estimate(q, hypo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]float64, 16)
+	errs := make([]error, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m, err := w.Estimate(q, hypo)
+			results[g], errs[g] = m.Seconds, err
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[g] != want.Seconds {
+			t.Errorf("goroutine %d: estimate %v, want %v", g, results[g], want.Seconds)
+		}
+	}
+}

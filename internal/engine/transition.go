@@ -16,6 +16,8 @@ import (
 // system configuration (§2.2) — which is much smaller than rebuilding Cj
 // from scratch when the configurations overlap.
 func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var meter cost.Meter
 
 	// Views: keep unchanged definitions, build new ones. Drops cost one
@@ -104,7 +106,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 	return BuildReport{
 		Config:       e.current,
 		IndexBytes:   extraBytes,
-		Bytes:        e.BaseBytes() + extraBytes,
+		Bytes:        e.baseBytes() + extraBytes,
 		BuildSeconds: e.Model.Seconds(&meter),
 	}, nil
 }
@@ -116,6 +118,8 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 // new index; the defining query's estimated cost plus the result write
 // per new view).
 func (w *WhatIf) EstimateTransition(target conf.Configuration) (float64, error) {
+	w.e.mu.RLock()
+	defer w.e.mu.RUnlock()
 	var meter cost.Meter
 	for _, vd := range target.Views {
 		if w.e.findView(vd.Name) != nil {
@@ -159,6 +163,8 @@ func (w *WhatIf) EstimateTransition(target conf.Configuration) (float64, error) 
 
 // hypoView2 returns the cached hypothetical view by name, if any.
 func (w *WhatIf) hypoView2(name string) (*plan.ViewInfo, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if v, ok := w.viewCache[strings.ToLower(name)]; ok {
 		return v, nil
 	}

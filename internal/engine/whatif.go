@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/conf"
@@ -26,9 +27,15 @@ import (
 //
 // The session caches derived descriptions, so a recommender evaluating
 // hundreds of candidate configurations pays the derivation once per
-// structure.
+// structure. A session may be shared by concurrent estimators: the caches
+// are guarded by their own mutex, and every estimation entry point takes
+// the engine's reader lock for the duration of the call.
 type WhatIf struct {
-	e          *Engine
+	e *Engine
+
+	// mu guards the derivation caches. Lock ordering: acquired after the
+	// engine's reader lock, never the other way around.
+	mu         sync.Mutex
 	indexCache map[string]*plan.IndexInfo
 	viewCache  map[string]*plan.ViewInfo
 }
@@ -53,6 +60,8 @@ func (e *Engine) AnalyzeSQL(sqlText string) (*sql.Query, error) {
 
 // Estimate returns H(q, Ch, Ca) for the hypothetical configuration.
 func (w *WhatIf) Estimate(q *sql.Query, hypo conf.Configuration) (Measure, error) {
+	w.e.mu.RLock()
+	defer w.e.mu.RUnlock()
 	phys, err := w.physical(hypo)
 	if err != nil {
 		return Measure{}, err
@@ -68,6 +77,8 @@ func (w *WhatIf) Estimate(q *sql.Query, hypo conf.Configuration) (Measure, error
 // configuration's indexes and views beyond the base data — the measure
 // the storage budget constrains (paper §2.2: ET uses storage).
 func (w *WhatIf) EstimateSize(hypo conf.Configuration) int64 {
+	w.e.mu.RLock()
+	defer w.e.mu.RUnlock()
 	var total int64
 	for _, vd := range hypo.Views {
 		vi, err := w.hypoView(vd)
@@ -148,6 +159,8 @@ func (e *Engine) findView(name string) *plan.ViewInfo {
 // hypoIndex derives a hypothetical index description from the statistics
 // of the current configuration.
 func (w *WhatIf) hypoIndex(d conf.IndexDef) (*plan.IndexInfo, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	key := d.Name()
 	if ix, ok := w.indexCache[key]; ok {
 		return ix, nil
@@ -221,6 +234,8 @@ func (w *WhatIf) hypoIndex(d conf.IndexDef) (*plan.IndexInfo, error) {
 // defining query is analyzed, its cardinality estimated with the join
 // formula, and column statistics are borrowed from the base tables.
 func (w *WhatIf) hypoView(vd conf.ViewDef) (*plan.ViewInfo, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	key := strings.ToLower(vd.Name)
 	if v, ok := w.viewCache[key]; ok {
 		return v, nil

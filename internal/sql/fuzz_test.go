@@ -1,0 +1,63 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are template-generated family queries in the shapes the
+// workload generators emit (paper §3.2.2: conjunctive select-join-
+// aggregate queries over NREF and TPC-H), plus the edge shapes the
+// grammar supports.
+var fuzzSeeds = []string{
+	`SELECT t.lineage, COUNT(DISTINCT t2.nref_id)
+	 FROM source s, taxonomy t, taxonomy t2
+	 WHERE t.nref_id = s.nref_id AND t.lineage = t2.lineage
+	   AND s.p_name = 'Simian Virus 40'
+	 GROUP BY t.lineage`,
+	`SELECT t.taxon_id, COUNT(*) FROM taxonomy t, organism o
+	 WHERE t.nref_id = o.nref_id AND t.nref_id = 'NF0000041'
+	 GROUP BY t.taxon_id`,
+	`SELECT l_orderkey, SUM(l_extendedprice) FROM lineitem, orders
+	 WHERE l_orderkey = o_orderkey AND o_orderdate < 19980801
+	 GROUP BY l_orderkey HAVING COUNT(*) > 3`,
+	`SELECT r.taxon_id, COUNT(*) FROM taxonomy r
+	 WHERE r.nref_id IN (SELECT nref_id FROM organism GROUP BY nref_id HAVING COUNT(*) < 4)
+	 GROUP BY r.taxon_id`,
+	`SELECT source, MIN(taxon_id), MAX(taxon_id), SUM(p_id), AVG(p_id), COUNT(p_id)
+	 FROM source GROUP BY source`,
+	`SELECT p_name, length FROM protein WHERE length < 100 ORDER BY length DESC`,
+	`INSERT INTO neighboring_seq VALUES (1, 'a', 2.5, NULL), (2, 'b', 3, 'x')`,
+	`SELECT a FROM t WHERE a = 1e308 AND b <> -0.5 AND c >= 'x''y'`,
+	`SELECT`, `SELECT *`, `SELECT a FROM`, `INSERT INTO`, ``, `(`, `"`,
+}
+
+// FuzzParse asserts the parser never panics: any input either parses or
+// returns an error.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Error("Parse returned nil statement and nil error")
+		}
+	})
+}
+
+// TestParseDepthLimit is the regression for the one panic the fuzzer can
+// reach: unbounded IN(SELECT ...) nesting must return a parse error, not
+// overflow the stack.
+func TestParseDepthLimit(t *testing.T) {
+	q := "SELECT a FROM t WHERE a IN ("
+	q = strings.Repeat(q, 2000) + "SELECT a FROM t" + strings.Repeat(")", 2000)
+	if _, err := Parse(q); err == nil {
+		t.Fatal("deeply nested query should fail to parse")
+	}
+	// Nesting below the limit still parses.
+	ok := `SELECT nref_id FROM taxonomy WHERE nref_id IN (SELECT nref_id FROM organism WHERE taxon_id IN (SELECT taxon_id FROM organism GROUP BY taxon_id HAVING COUNT(*) > 1) GROUP BY nref_id)`
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("legitimate nesting rejected: %v", err)
+	}
+}

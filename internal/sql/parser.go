@@ -50,10 +50,16 @@ type parseError struct{ msg string }
 
 func (e *parseError) Error() string { return "sql: " + e.msg }
 
+// maxParseDepth bounds SELECT nesting (IN subqueries recurse through
+// parseSelect); without it a long chain of "IN (SELECT ..." overflows
+// the goroutine stack instead of returning a parse error.
+const maxParseDepth = 32
+
 type parser struct {
-	l    *lexer
-	toks []token
-	pos  int
+	l     *lexer
+	toks  []token
+	pos   int
+	depth int
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -115,6 +121,11 @@ func (p *parser) expectIdent() (string, error) {
 // parseSelect parses: SELECT items FROM tables [WHERE expr]
 // [GROUP BY cols] [HAVING agg op int].
 func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, p.errHere("query nesting exceeds %d levels", maxParseDepth)
+	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
