@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz verify
+.PHONY: build test race vet fmtcheck bench fuzz autopilot-smoke verify
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,19 @@ test:
 
 # The race run is part of verify: the engine's read path is exercised by
 # 32 concurrent goroutines against a config-applying writer (see
-# internal/engine/race_test.go); full-scale golden tests skip themselves
-# under the detector.
+# internal/engine/race_test.go), and the autopilot's overlapped
+# transitions retune while traffic flows; full-scale golden tests skip
+# themselves under the detector.
 race:
 	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; any output fails the check.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
@@ -23,4 +32,10 @@ bench:
 fuzz:
 	$(GO) test ./internal/sql/ -fuzz=FuzzParse -fuzztime=30s
 
-verify: build test race
+# A bounded online run: 3 windows with a mixture drift, metrics served
+# on an ephemeral port, perf record written to BENCH_autopilot.json.
+autopilot-smoke:
+	$(GO) run ./cmd/autopilotd -windows 3 -drift -drift-at 1 \
+		-addr 127.0.0.1:0 -bench-json BENCH_autopilot.json
+
+verify: build test race vet fmtcheck autopilot-smoke

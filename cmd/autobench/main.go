@@ -30,6 +30,12 @@ func main() {
 	outDir := flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
 	flag.Parse()
 
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "autobench: -parallel must be >= 0, got %d (0 = GOMAXPROCS, 1 = sequential)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)

@@ -1,0 +1,310 @@
+// Command autopilotd serves a continuous stream of family queries while
+// an autonomic controller keeps the configuration tuned — the online
+// counterpart of the batch autobench. It exposes /metrics and /healthz
+// over HTTP for the duration of the run.
+//
+// Usage:
+//
+//	autopilotd [-windows n] [-drift] [-compare] [-sync] [-static] ...
+//
+// With -windows 0 (default) it streams until interrupted; a positive
+// -windows runs a bounded, CI-friendly session. -drift shifts the family
+// mixture at -drift-at, which is the headline experiment: watch the goal
+// verdict decay under the stale configuration and recover after the
+// controller's retune. -compare repeats the identical stream against a
+// static baseline that never retunes and prints both side by side.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/autopilot"
+	"repro/internal/core"
+)
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// parseShares parses "NREF2J:0.9,NREF3J:0.1".
+func parseShares(s string) ([]autopilot.FamilyShare, error) {
+	var out []autopilot.FamilyShare
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wt, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("family share %q: want NAME:WEIGHT", part)
+		}
+		w, err := strconv.ParseFloat(wt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("family share %q: %v", part, err)
+		}
+		out = append(out, autopilot.FamilyShare{Family: name, Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no family shares in %q", s)
+	}
+	return out, nil
+}
+
+// parseGoal parses "10:0.10,60:0.50,1800:0.90" into a step goal.
+func parseGoal(s string) (core.Goal, error) {
+	g := core.Goal{Name: "custom"}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		xs, fs, ok := strings.Cut(part, ":")
+		if !ok {
+			return core.Goal{}, fmt.Errorf("goal step %q: want SECONDS:FRACTION", part)
+		}
+		x, err := strconv.ParseFloat(xs, 64)
+		if err != nil {
+			return core.Goal{}, err
+		}
+		f, err := strconv.ParseFloat(fs, 64)
+		if err != nil {
+			return core.Goal{}, err
+		}
+		g.Steps = append(g.Steps, core.GoalStep{X: x, Frac: f})
+	}
+	if len(g.Steps) == 0 {
+		return core.Goal{}, fmt.Errorf("no goal steps in %q", s)
+	}
+	return g, nil
+}
+
+func main() {
+	system := flag.String("system", "B", "engine profile (A, B or C)")
+	rec := flag.String("recommender", "", "tuner profile: A, B, C or 1C (default: -system)")
+	families := flag.String("families", "NREF2J:0.9,NREF3J:0.1", "initial mixture as NAME:WEIGHT,...")
+	drift := flag.Bool("drift", false, "shift the family mixture mid-run")
+	driftAt := flag.Int("drift-at", 2, "window at which the mixture shifts")
+	driftTo := flag.String("drift-to", "NREF2J:0.1,NREF3J:0.9", "post-drift mixture as NAME:WEIGHT,...")
+	scale := flag.Float64("scale", 0.0002, "data scale factor relative to the paper's databases")
+	seed := flag.Int64("seed", 42, "generator seed")
+	pool := flag.Int("pool", 30, "per-family query pool size")
+	window := flag.Int("window", 24, "queries per observation window")
+	windows := flag.Int("windows", 0, "number of windows to run (0 = stream until interrupted)")
+	parallel := flag.Int("parallel", 0, "query parallelism within a window (0 = GOMAXPROCS)")
+	goalSpec := flag.String("goal", "60:0.50,400:0.95", "QoS goal as SECONDS:FRACTION,... (empty = the paper's Example 2)")
+	threshold := flag.Float64("mix-threshold", 0.25, "mixture shift detection threshold (moved probability mass)")
+	timeout := flag.Float64("timeout", core.DefaultTimeout, "per-query simulated timeout in seconds")
+	syncT := flag.Bool("sync", false, "apply transitions at window boundaries (deterministic) instead of overlapping traffic")
+	static := flag.Bool("static", false, "freeze the configuration after warmup (decaying baseline)")
+	noWarmup := flag.Bool("no-warmup", false, "skip the initial warmup tune (start serving under P)")
+	compare := flag.Bool("compare", false, "also run the static baseline on the identical stream and print both")
+	addr := flag.String("addr", ":9090", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+	benchJSON := flag.String("bench-json", "", "write machine-readable run metrics to this file")
+	outFile := flag.String("o", "", "also write the per-window table artifact to this file")
+	flag.Parse()
+
+	if *windows < 0 {
+		usageErr("autopilotd: -windows must be >= 0, got %d", *windows)
+	}
+	if *window <= 0 {
+		usageErr("autopilotd: -window must be positive, got %d", *window)
+	}
+	if *parallel < 0 {
+		usageErr("autopilotd: -parallel must be >= 0, got %d", *parallel)
+	}
+
+	shares, err := parseShares(*families)
+	if err != nil {
+		usageErr("autopilotd: %v", err)
+	}
+	if *rec == "" {
+		*rec = *system
+	}
+	opts := autopilot.Options{
+		System:            *system,
+		Recommender:       *rec,
+		Families:          shares,
+		Scale:             *scale,
+		Seed:              *seed,
+		PoolSize:          *pool,
+		WindowSize:        *window,
+		Windows:           *windows,
+		Parallelism:       *parallel,
+		MixShiftThreshold: *threshold,
+		Timeout:           *timeout,
+		Sync:              *syncT,
+		Static:            *static,
+		Warmup:            !*noWarmup,
+	}
+	if *goalSpec != "" {
+		if opts.Goal, err = parseGoal(*goalSpec); err != nil {
+			usageErr("autopilotd: %v", err)
+		}
+	}
+	if *drift {
+		to, err := parseShares(*driftTo)
+		if err != nil {
+			usageErr("autopilotd: %v", err)
+		}
+		opts.Drift = &autopilot.Drift{AtWindow: *driftAt, Shares: to}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("autopilotd: loading %s-profile engine at scale %g (seed %d)...\n", opts.System, opts.Scale, opts.Seed)
+	start := time.Now()
+	ap, err := autopilot.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilotd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("autopilotd: ready in %.1fs\n", time.Since(start).Seconds())
+
+	var srv *http.Server
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autopilotd:", err)
+			os.Exit(1)
+		}
+		srv = &http.Server{Handler: ap.Metrics().Handler()}
+		go srv.Serve(ln)
+		fmt.Printf("autopilotd: serving /metrics and /healthz on http://%s\n", ln.Addr())
+	}
+
+	runStart := time.Now()
+	reports, retunes, err := ap.Run(ctx)
+	wall := time.Since(runStart).Seconds()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopilotd:", err)
+		os.Exit(1)
+	}
+
+	table := autopilot.RenderTable(reports, retunes)
+	fmt.Println()
+	fmt.Println(table)
+
+	if *compare {
+		fmt.Println("autopilotd: running static baseline on the identical stream...")
+		sOpts := opts
+		sOpts.Static = true
+		sap, err := autopilot.New(sOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autopilotd:", err)
+			os.Exit(1)
+		}
+		sReports, _, err := sap.Run(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autopilotd:", err)
+			os.Exit(1)
+		}
+		cmp := autopilot.RenderComparison(reports, sReports)
+		fmt.Println()
+		fmt.Println(cmp)
+		table += "\n== autopilot vs static baseline ==\n\n" + cmp
+	}
+
+	snap := ap.Metrics().Snapshot()
+	fmt.Printf("autopilotd: %d windows, %d queries, %d retunes (%d structures built, %d dropped) in %.1fs wall\n",
+		snap.WindowsCompleted, snap.QueriesServed, snap.RetunesApplied,
+		snap.StructuresBuilt, snap.StructuresDropped, wall)
+
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(table), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "autopilotd:", err)
+			os.Exit(1)
+		}
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, opts, snap, reports, retunes, wall); err != nil {
+			fmt.Fprintln(os.Stderr, "autopilotd:", err)
+			os.Exit(1)
+		}
+	}
+	if srv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}
+}
+
+// writeBenchJSON emits the perf-trajectory record for this run.
+func writeBenchJSON(path string, opts autopilot.Options, snap autopilot.Snapshot,
+	reports []autopilot.WindowReport, retunes []autopilot.RetuneRecord, wall float64) error {
+	qps := 0.0
+	if wall > 0 {
+		qps = float64(snap.QueriesServed) / wall
+	}
+	retuneMS := int64(0)
+	nOK := int64(0)
+	for _, r := range retunes {
+		if r.Err == "" {
+			retuneMS += r.WallMS
+			nOK++
+		}
+	}
+	meanRetuneMS := int64(0)
+	if nOK > 0 {
+		meanRetuneMS = retuneMS / nOK
+	}
+	rec := map[string]any{
+		"bench":        "autopilot",
+		"system":       opts.System,
+		"recommender":  opts.Recommender,
+		"scale":        opts.Scale,
+		"seed":         opts.Seed,
+		"window_size":  opts.WindowSize,
+		"windows":      snap.WindowsCompleted,
+		"parallelism":  opts.Parallelism,
+		"wall_seconds": round3(wall),
+
+		"queries_served":  snap.QueriesServed,
+		"queries_per_sec": round3(qps),
+
+		"retunes_applied":     snap.RetunesApplied,
+		"retune_wall_ms_mean": meanRetuneMS,
+		"structures_built":    snap.StructuresBuilt,
+		"structures_dropped":  snap.StructuresDropped,
+	}
+	if n := len(reports); n > 0 {
+		last := reports[n-1]
+		rec["final_window_p95_seconds"] = jsonSec(last.P95)
+		rec["final_window_goal_satisfaction"] = last.Satisfaction
+		maxP95 := 0.0
+		for _, r := range reports {
+			if s := jsonSec(r.P95); s > maxP95 {
+				maxP95 = s
+			}
+		}
+		rec["max_window_p95_seconds"] = maxP95
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
+
+// jsonSec clamps a possibly-infinite quantile for JSON.
+func jsonSec(x float64) float64 {
+	if x > core.DefaultTimeout*10 {
+		return -1
+	}
+	return round3(x)
+}

@@ -1,0 +1,195 @@
+package autopilot
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Metrics is the autopilot's observability surface: lock-free counters
+// updated from the worker pool as queries complete, plus a mutex-guarded
+// snapshot of the most recent window report. It backs both the periodic
+// text report and the daemon's /metrics and /healthz endpoints.
+type Metrics struct {
+	start time.Time
+
+	QueriesServed    atomic.Int64
+	Timeouts         atomic.Int64
+	WindowsCompleted atomic.Int64
+	GoalViolations   atomic.Int64
+
+	RetunesApplied    atomic.Int64
+	RetuneErrors      atomic.Int64
+	RetunesInFlight   atomic.Int64
+	StructuresBuilt   atomic.Int64
+	StructuresDropped atomic.Int64
+	RetuneWallMS      atomic.Int64
+
+	mu       sync.Mutex
+	last     WindowReport
+	haveLast bool
+}
+
+// NewMetrics starts the uptime clock.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// ObserveQuery is the core.Runner.OnMeasure hook: one completed query.
+func (m *Metrics) ObserveQuery(q core.Measure) {
+	m.QueriesServed.Add(1)
+	if q.TimedOut {
+		m.Timeouts.Add(1)
+	}
+}
+
+// ObserveWindow records a completed window report.
+func (m *Metrics) ObserveWindow(rep WindowReport) {
+	m.WindowsCompleted.Add(1)
+	if !rep.Satisfied {
+		m.GoalViolations.Add(1)
+	}
+	m.mu.Lock()
+	m.last = rep
+	m.haveLast = true
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every metric, for reports and the
+// perf-trajectory JSON.
+type Snapshot struct {
+	UptimeSeconds     float64    `json:"uptime_seconds"`
+	QueriesServed     int64      `json:"queries_served"`
+	Timeouts          int64      `json:"timeouts"`
+	WindowsCompleted  int64      `json:"windows_completed"`
+	GoalViolations    int64      `json:"goal_violations"`
+	RetunesApplied    int64      `json:"retunes_applied"`
+	RetuneErrors      int64      `json:"retune_errors"`
+	RetunesInFlight   int64      `json:"retunes_in_flight"`
+	StructuresBuilt   int64      `json:"structures_built"`
+	StructuresDropped int64      `json:"structures_dropped"`
+	RetuneWallMS      int64      `json:"retune_wall_ms"`
+	LastWindow        *WindowRow `json:"last_window,omitempty"`
+}
+
+// WindowRow is the JSON-safe view of a window report (infinite quantiles
+// are clamped to -1, meaning "beyond timeout").
+type WindowRow struct {
+	Window       int     `json:"window"`
+	Config       string  `json:"config"`
+	Queries      int     `json:"queries"`
+	P50          float64 `json:"p50_seconds"`
+	P95          float64 `json:"p95_seconds"`
+	P99          float64 `json:"p99_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+	Timeouts     int     `json:"timeouts"`
+	EAMedian     float64 `json:"ea_ratio_p50"`
+	EAP90        float64 `json:"ea_ratio_p90"`
+	Satisfied    bool    `json:"goal_satisfied"`
+	Satisfaction float64 `json:"goal_satisfaction"`
+}
+
+func finite(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return -1
+	}
+	return x
+}
+
+func rowOf(rep WindowReport) *WindowRow {
+	return &WindowRow{
+		Window:       rep.Window,
+		Config:       rep.Config,
+		Queries:      rep.Queries,
+		P50:          finite(rep.P50),
+		P95:          finite(rep.P95),
+		P99:          finite(rep.P99),
+		MeanSeconds:  finite(rep.MeanSeconds),
+		Timeouts:     rep.Timeouts,
+		EAMedian:     rep.EAMedian,
+		EAP90:        rep.EAP90,
+		Satisfied:    rep.Satisfied,
+		Satisfaction: rep.Satisfaction,
+	}
+}
+
+// Snapshot copies the current metric values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeSeconds:     time.Since(m.start).Seconds(),
+		QueriesServed:     m.QueriesServed.Load(),
+		Timeouts:          m.Timeouts.Load(),
+		WindowsCompleted:  m.WindowsCompleted.Load(),
+		GoalViolations:    m.GoalViolations.Load(),
+		RetunesApplied:    m.RetunesApplied.Load(),
+		RetuneErrors:      m.RetuneErrors.Load(),
+		RetunesInFlight:   m.RetunesInFlight.Load(),
+		StructuresBuilt:   m.StructuresBuilt.Load(),
+		StructuresDropped: m.StructuresDropped.Load(),
+		RetuneWallMS:      m.RetuneWallMS.Load(),
+	}
+	m.mu.Lock()
+	if m.haveLast {
+		s.LastWindow = rowOf(m.last)
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// Handler serves /metrics (Prometheus text exposition) and /healthz
+// (JSON liveness) off this metrics set.
+func (m *Metrics) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.serveMetrics)
+	mux.HandleFunc("/healthz", m.serveHealth)
+	return mux
+}
+
+func (m *Metrics) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := m.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "autopilot_uptime_seconds %g\n", s.UptimeSeconds)
+	fmt.Fprintf(w, "autopilot_queries_served_total %d\n", s.QueriesServed)
+	fmt.Fprintf(w, "autopilot_query_timeouts_total %d\n", s.Timeouts)
+	fmt.Fprintf(w, "autopilot_windows_completed_total %d\n", s.WindowsCompleted)
+	fmt.Fprintf(w, "autopilot_goal_violations_total %d\n", s.GoalViolations)
+	fmt.Fprintf(w, "autopilot_retunes_applied_total %d\n", s.RetunesApplied)
+	fmt.Fprintf(w, "autopilot_retune_errors_total %d\n", s.RetuneErrors)
+	fmt.Fprintf(w, "autopilot_retunes_in_flight %d\n", s.RetunesInFlight)
+	fmt.Fprintf(w, "autopilot_structures_built_total %d\n", s.StructuresBuilt)
+	fmt.Fprintf(w, "autopilot_structures_dropped_total %d\n", s.StructuresDropped)
+	fmt.Fprintf(w, "autopilot_retune_wall_ms_total %d\n", s.RetuneWallMS)
+	if lw := s.LastWindow; lw != nil {
+		fmt.Fprintf(w, "autopilot_window_index %d\n", lw.Window)
+		fmt.Fprintf(w, "autopilot_window_p50_seconds %g\n", lw.P50)
+		fmt.Fprintf(w, "autopilot_window_p95_seconds %g\n", lw.P95)
+		fmt.Fprintf(w, "autopilot_window_p99_seconds %g\n", lw.P99)
+		fmt.Fprintf(w, "autopilot_window_mean_seconds %g\n", lw.MeanSeconds)
+		fmt.Fprintf(w, "autopilot_window_ea_ratio_p50 %g\n", lw.EAMedian)
+		fmt.Fprintf(w, "autopilot_window_ea_ratio_p90 %g\n", lw.EAP90)
+		sat := 0
+		if lw.Satisfied {
+			sat = 1
+		}
+		fmt.Fprintf(w, "autopilot_window_goal_satisfied %d\n", sat)
+		fmt.Fprintf(w, "autopilot_window_goal_satisfaction %g\n", lw.Satisfaction)
+	}
+}
+
+func (m *Metrics) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	s := m.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":            "ok",
+		"uptime_seconds":    s.UptimeSeconds,
+		"windows_completed": s.WindowsCompleted,
+		"queries_served":    s.QueriesServed,
+		"retunes_in_flight": s.RetunesInFlight,
+	})
+}

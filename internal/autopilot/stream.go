@@ -1,0 +1,77 @@
+package autopilot
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// FamilyShare is one family's weight in the stream mixture.
+type FamilyShare struct {
+	Family string
+	Weight float64
+}
+
+// Drift is the stream's schedule of mixture change: from window AtWindow
+// on, queries are drawn with the Shares weights instead of the initial
+// ones. This is the benchmark's model of workload evolution — the paper's
+// one-shot evaluation freezes the mix; the autopilot's whole point is to
+// notice when it moves.
+type Drift struct {
+	AtWindow int
+	Shares   []FamilyShare
+}
+
+// Stream is an unbounded, seeded source of family queries. A window is a
+// consecutive slice of the stream; windows must be drawn in order because
+// every draw advances the generator (that, plus the seed, is what makes a
+// bounded run byte-reproducible at any parallelism).
+type Stream struct {
+	rng     *rand.Rand
+	base    workload.Mixture
+	drifted *workload.Mixture
+	driftAt int
+	next    int // next window index expected
+}
+
+// newStream builds a stream over the family pools. shares and pools are
+// parallel; drifted may be nil for a stationary stream.
+func newStream(seed int64, pools []workload.Family, shares []float64, drifted []float64, driftAt int) (*Stream, error) {
+	base, err := workload.NewMixture(pools, shares)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{rng: rand.New(rand.NewSource(seed)), base: base, driftAt: driftAt}
+	if drifted != nil {
+		m, err := workload.NewMixture(pools, drifted)
+		if err != nil {
+			return nil, err
+		}
+		s.drifted = &m
+	}
+	return s, nil
+}
+
+// MixtureAt returns the mixture in force for a window index.
+func (s *Stream) MixtureAt(w int) workload.Mixture {
+	if s.drifted != nil && w >= s.driftAt {
+		return *s.drifted
+	}
+	return s.base
+}
+
+// Window draws the n queries of window w. Windows must be requested in
+// strictly increasing order starting at 0.
+func (s *Stream) Window(w, n int) ([]workload.Query, error) {
+	if w != s.next {
+		return nil, fmt.Errorf("autopilot: stream window %d requested, expected %d (windows are sequential)", w, s.next)
+	}
+	s.next++
+	m := s.MixtureAt(w)
+	out := make([]workload.Query, n)
+	for i := range out {
+		out[i] = m.Draw(s.rng)
+	}
+	return out, nil
+}

@@ -176,17 +176,28 @@ func must(err error) {
 	}
 }
 
-// dbOfFamily maps family names to their database.
-func dbOfFamily(family string) string {
+// DBOfFamily maps a family name to the database it runs on. Callers
+// outside the lab (the autopilot daemon assembling a stream mixture)
+// use it to check that all families of a mixture share one engine.
+func DBOfFamily(family string) (string, error) {
 	switch family {
 	case "NREF2J", "NREF3J":
-		return DBNref
+		return DBNref, nil
 	case "SkTH3J", "SkTH3Js":
-		return DBSkTH
+		return DBSkTH, nil
 	case "UnTH3J":
-		return DBUnTH
+		return DBUnTH, nil
 	}
-	panic("bench: unknown family " + family)
+	return "", fmt.Errorf("bench: unknown family %q", family)
+}
+
+// dbOfFamily is DBOfFamily for internal callers with known-good names.
+func dbOfFamily(family string) string {
+	db, err := DBOfFamily(family)
+	if err != nil {
+		panic(err)
+	}
+	return db
 }
 
 // Workload returns the sampled 100-query workload for the family,

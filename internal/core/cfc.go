@@ -149,6 +149,23 @@ func (g Goal) Satisfied(c CFC) bool {
 	return true
 }
 
+// Satisfaction grades the verdict: the fraction of goal steps the curve
+// meets, in [0, 1]. Satisfied(c) ⇔ Satisfaction(c) == 1. An online tuner
+// tracks this level per window: it degrades stepwise as a configuration
+// ages and recovers after a successful retune.
+func (g Goal) Satisfaction(c CFC) float64 {
+	if len(g.Steps) == 0 {
+		return 1
+	}
+	met := 0
+	for _, st := range g.Steps {
+		if c.At(nextAfter(st.X)) >= st.Frac {
+			met++
+		}
+	}
+	return float64(met) / float64(len(g.Steps))
+}
+
 // Example2Goal is the paper's Example 2: 10% of queries under 10 seconds,
 // 50% under one minute, 90% before the 30-minute timeout.
 func Example2Goal() Goal {

@@ -123,6 +123,18 @@ func TestGoalSatisfaction(t *testing.T) {
 	if !g.Satisfied(edge) {
 		t.Error("values equal to the step edge count for x just above it")
 	}
+
+	// The graded level counts satisfied steps: the slow curve above meets
+	// only the timeout step (90% before 1800s), so 1 of 3.
+	if got := goal.Satisfaction(pass); got != 1 {
+		t.Errorf("Satisfaction(pass) = %v, want 1", got)
+	}
+	if got := goal.Satisfaction(fail); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Satisfaction(fail) = %v, want 1/3", got)
+	}
+	if got := (Goal{}).Satisfaction(pass); got != 1 {
+		t.Errorf("empty goal Satisfaction = %v, want 1 (vacuous)", got)
+	}
 }
 
 func TestImprovementRatio(t *testing.T) {

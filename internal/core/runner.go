@@ -24,6 +24,14 @@ type Runner struct {
 	// Parallelism is the maximum number of queries in flight at once.
 	// 0 or negative means runtime.GOMAXPROCS(0).
 	Parallelism int
+
+	// OnMeasure, when non-nil, is called by RunWorkload for every
+	// completed query from the worker that ran it, as it completes —
+	// the hook live dashboards and daemons count traffic with. It must
+	// be safe for concurrent use and must not block; it has no effect
+	// on the returned measures. Estimate and what-if passes do not
+	// report.
+	OnMeasure func(Measure)
 }
 
 // workers resolves the effective pool size.
@@ -89,6 +97,9 @@ func (r Runner) RunWorkload(e *engine.Engine, queries []string, timeout float64)
 			return fmt.Errorf("core: running %q: %w", queries[i], err)
 		}
 		out[i] = Measure{SQL: queries[i], Seconds: m.Seconds, TimedOut: m.TimedOut}
+		if r.OnMeasure != nil {
+			r.OnMeasure(out[i])
+		}
 		return nil
 	})
 	if err != nil {

@@ -195,6 +195,11 @@ type BuildReport struct {
 	IndexBytes int64
 	// BuildSeconds is the simulated time to build all indexes and views.
 	BuildSeconds float64
+	// Built, Kept and Dropped count structures (indexes plus views)
+	// constructed, carried over unchanged, and removed by the change —
+	// the "index churn" an online tuner pays per transition. ApplyConfig
+	// always rebuilds, so Kept is zero there; Transition reuses overlap.
+	Built, Kept, Dropped int
 }
 
 // ApplyConfig drops the previous configuration's structures and builds the
@@ -203,6 +208,10 @@ type BuildReport struct {
 func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	dropped := len(e.views)
+	for _, list := range e.indexes {
+		dropped += len(list)
+	}
 	e.indexes = make(map[string][]*plan.IndexInfo)
 	e.views = nil
 	e.current = c.Clone()
@@ -237,6 +246,8 @@ func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 		IndexBytes:   extraBytes,
 		Bytes:        e.baseBytes() + extraBytes,
 		BuildSeconds: e.Model.Seconds(&meter),
+		Built:        len(c.Views) + len(c.Indexes),
+		Dropped:      dropped,
 	}
 	return rep, nil
 }

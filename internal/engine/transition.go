@@ -19,6 +19,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var meter cost.Meter
+	var nBuilt, nKept, nDropped int
 
 	// Views: keep unchanged definitions, build new ones. Drops cost one
 	// page write (catalog update; deallocation is lazy).
@@ -34,6 +35,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 		}
 		if kept != nil {
 			e.views = append(e.views, kept)
+			nKept++
 			continue
 		}
 		vi, m, err := e.buildView(vd)
@@ -42,10 +44,12 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 		}
 		meter.Add(m)
 		e.views = append(e.views, vi)
+		nBuilt++
 	}
 	for _, v := range oldViews {
 		if !target.HasView(v.Def.Name) {
 			meter.FixedSeq++ // catalog update for the drop
+			nDropped++
 		}
 	}
 
@@ -72,6 +76,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 		if kept != nil {
 			e.indexes[key] = append(e.indexes[key], kept)
 			extraBytes += kept.Bytes
+			nKept++
 			continue
 		}
 		ix, m, err := e.buildIndex(d)
@@ -81,6 +86,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 		meter.Add(m)
 		e.indexes[key] = append(e.indexes[key], ix)
 		extraBytes += ix.Bytes
+		nBuilt++
 	}
 	dropped := 0
 	for key, list := range oldIndexes {
@@ -98,6 +104,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 		}
 	}
 	meter.FixedSeq += int64(dropped)
+	nDropped += dropped
 
 	e.current = target.Clone()
 	for _, v := range e.views {
@@ -108,6 +115,9 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 		IndexBytes:   extraBytes,
 		Bytes:        e.baseBytes() + extraBytes,
 		BuildSeconds: e.Model.Seconds(&meter),
+		Built:        nBuilt,
+		Kept:         nKept,
+		Dropped:      nDropped,
 	}, nil
 }
 

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mixture is a weighted blend of query families, the unit of streaming
+// workload generation: an unbounded query stream is a sequence of draws
+// from a (possibly time-varying) mixture. Weights need not sum to one;
+// they are normalized at draw time.
+type Mixture struct {
+	Families []Family
+	Weights  []float64
+}
+
+// NewMixture pairs families with weights, validating shape.
+func NewMixture(families []Family, weights []float64) (Mixture, error) {
+	if len(families) == 0 {
+		return Mixture{}, fmt.Errorf("workload: mixture needs at least one family")
+	}
+	if len(families) != len(weights) {
+		return Mixture{}, fmt.Errorf("workload: %d families but %d weights", len(families), len(weights))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return Mixture{}, fmt.Errorf("workload: negative weight %v for family %s", w, families[i].Name)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return Mixture{}, fmt.Errorf("workload: mixture weights sum to zero")
+	}
+	for _, f := range families {
+		if len(f.Queries) == 0 {
+			return Mixture{}, fmt.Errorf("workload: family %s is empty", f.Name)
+		}
+	}
+	return Mixture{Families: families, Weights: weights}, nil
+}
+
+// Draw picks one query: a family proportional to the weights, then a
+// uniform member of that family. Deterministic given the rng state.
+func (m Mixture) Draw(rng *rand.Rand) Query {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	k := len(m.Families) - 1
+	for i, w := range m.Weights {
+		if x < w {
+			k = i
+			break
+		}
+		x -= w
+	}
+	f := m.Families[k]
+	return f.Queries[rng.Intn(len(f.Queries))]
+}
+
+// Proportions returns the normalized weight of each family, in order.
+func (m Mixture) Proportions() []float64 {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	out := make([]float64, len(m.Weights))
+	if total <= 0 {
+		return out
+	}
+	for i, w := range m.Weights {
+		out[i] = w / total
+	}
+	return out
+}
