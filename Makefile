@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmtcheck bench fuzz autopilot-smoke verify
+.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,18 @@ fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# conflint enforces the repo's concurrency & determinism invariants at
+# the source level (see "Invariants & static analysis" in README.md).
+# Exits nonzero on any finding; the per-rule counts land in
+# BENCH_conflint.json.
+lint:
+	$(GO) run ./cmd/conflint -bench-json BENCH_conflint.json ./...
+
+# Same run, but each finding prints the offending line and a suggested
+# edit.
+lint-fix-hints:
+	$(GO) run ./cmd/conflint -hints ./...
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
@@ -38,4 +50,4 @@ autopilot-smoke:
 	$(GO) run ./cmd/autopilotd -windows 3 -drift -drift-at 1 \
 		-addr 127.0.0.1:0 -bench-json BENCH_autopilot.json
 
-verify: build test race vet fmtcheck autopilot-smoke
+verify: build test race vet fmtcheck lint autopilot-smoke

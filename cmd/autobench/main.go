@@ -35,6 +35,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "autobench: -scale must be positive, got %g\n", *scale)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *size <= 0 {
+		fmt.Fprintf(os.Stderr, "autobench: -size must be positive, got %d\n", *size)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *list && *exp != "" {
+		fmt.Fprintln(os.Stderr, "autobench: -list and -exp are mutually exclusive (-list only prints the ids)")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

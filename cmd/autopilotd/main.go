@@ -126,6 +126,28 @@ func main() {
 		usageErr("autopilotd: -parallel must be >= 0, got %d", *parallel)
 	}
 
+	// Nonsensical flag combinations are usage errors, not silent surprises.
+	if *drift && *windows == 0 {
+		usageErr("autopilotd: -drift needs a bounded run (-windows > 0) so the shift window exists")
+	}
+	if *drift && *driftAt >= *windows {
+		usageErr("autopilotd: -drift-at %d never fires in a %d-window run (need -drift-at < -windows)", *driftAt, *windows)
+	}
+	if *drift && *driftAt < 0 {
+		usageErr("autopilotd: -drift-at must be >= 0, got %d", *driftAt)
+	}
+	flag.Visit(func(fl *flag.Flag) {
+		if !*drift && (fl.Name == "drift-at" || fl.Name == "drift-to") {
+			usageErr("autopilotd: -%s has no effect without -drift", fl.Name)
+		}
+	})
+	if *compare && !*syncT {
+		usageErr("autopilotd: -compare needs -sync: with overlapped retunes the two streams are not window-aligned, so the comparison is meaningless")
+	}
+	if *compare && *static {
+		usageErr("autopilotd: -compare with -static would compare the frozen baseline against itself")
+	}
+
 	shares, err := parseShares(*families)
 	if err != nil {
 		usageErr("autopilotd: %v", err)
@@ -182,7 +204,11 @@ func main() {
 			os.Exit(1)
 		}
 		srv = &http.Server{Handler: ap.Metrics().Handler()}
-		go srv.Serve(ln)
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "autopilotd: metrics server:", err)
+			}
+		}()
 		fmt.Printf("autopilotd: serving /metrics and /healthz on http://%s\n", ln.Addr())
 	}
 
@@ -238,7 +264,9 @@ func main() {
 	if srv != nil {
 		shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
-		srv.Shutdown(shCtx)
+		if err := srv.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "autopilotd: metrics shutdown:", err)
+		}
 	}
 }
 

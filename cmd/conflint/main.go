@@ -1,0 +1,183 @@
+// Command conflint runs the repository's invariant analyzers (internal/lint)
+// over the module and reports findings. It is wired into `make verify` via
+// `make lint` and must exit clean on this repo.
+//
+// Usage:
+//
+//	conflint [flags] [packages]
+//
+// Packages are directory patterns relative to the module root ("./...",
+// "./internal/engine", "internal/autopilot/..."); the default is the whole
+// module. Note the module is always parsed in full — cross-package rules
+// like atomic-discipline need the whole tree — and the patterns only select
+// which packages' findings are reported.
+//
+// Exit status: 0 no findings, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("conflint", flag.ContinueOnError)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		hints     = fs.Bool("hints", false, "lint-fix-hints mode: print the offending line and a suggested edit under each finding")
+		rules     = fs.String("rules", "", "comma-separated rule subset (default: all); names: lock, determinism, atomic, errcheck")
+		benchJSON = fs.String("bench-json", "", "write a BENCH-style JSON record (finding counts per rule) to this file")
+		listRules = fs.Bool("list-rules", false, "print the analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: conflint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	if *listRules {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.ByNames(*rules)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+		return 2
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.Run(m, analyzers)
+	findings = filterFindings(root, findings, fs.Args())
+
+	if *benchJSON != "" {
+		if err := writeBench(*benchJSON, analyzers, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		out, err := lint.RenderJSON(m, findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+		fmt.Print(out)
+	} else {
+		fmt.Print(lint.RenderText(m, findings, *hints))
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "conflint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks upward from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterFindings keeps findings inside the selected package patterns.
+// Patterns are module-root-relative directories, with "..." matching any
+// suffix; no patterns (or "./...") selects everything.
+func filterFindings(root string, fs []lint.Finding, patterns []string) []lint.Finding {
+	if len(patterns) == 0 {
+		return fs
+	}
+	var out []lint.Finding
+	for _, f := range fs {
+		rel, err := filepath.Rel(root, filepath.Dir(f.File))
+		if err != nil {
+			rel = filepath.Dir(f.File)
+		}
+		rel = filepath.ToSlash(rel)
+		for _, pat := range patterns {
+			if matchPattern(rel, pat) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(relDir, pat string) bool {
+	pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+	if pat == "..." || pat == "." || pat == "" {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return relDir == prefix || strings.HasPrefix(relDir, prefix+"/")
+	}
+	return relDir == pat
+}
+
+// writeBench records the run in the same shape as the BENCH_*.json
+// artifacts the other harnesses produce.
+func writeBench(path string, analyzers []*lint.Analyzer, fs []lint.Finding) error {
+	perRule := make(map[string]int)
+	for _, a := range analyzers {
+		perRule[a.Name] = 0
+	}
+	for _, f := range fs {
+		perRule[f.Rule]++
+	}
+	var b strings.Builder
+	b.WriteString("{\n  \"bench\": \"conflint\",\n")
+	fmt.Fprintf(&b, "  \"findings\": %d,\n", len(fs))
+	b.WriteString("  \"per_rule\": {")
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	if _, ok := perRule["ignore"]; ok && perRule["ignore"] > 0 {
+		names = append(names, "ignore")
+	}
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    %q: %d", n, perRule[n])
+	}
+	b.WriteString("\n  }\n}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -28,7 +28,10 @@ func main() {
 	}
 	fam := workload.NREF2J(e.Schema, e, workload.DefaultOptions()).
 		Sample(100, func(s string) float64 {
-			m, _ := e.Estimate(s)
+			m, err := e.Estimate(s)
+			if err != nil {
+				log.Fatalf("estimating %q: %v", s, err)
+			}
 			return m.Seconds
 		}, 42)
 

@@ -127,9 +127,11 @@ func (c *controller) launch(window int, reason string, sqls []string, mix []Fami
 // lock-protected.
 func (c *controller) retune(job *retuneJob, sqls []string) {
 	defer close(job.done)
+	// conflint:ignore WallMS is wall-clock observability for the operator; it is excluded from all rendered reports
 	start := time.Now()
 	rec := &job.rec
 	defer func() {
+		// conflint:ignore WallMS is wall-clock observability for the operator; it is excluded from all rendered reports
 		rec.WallMS = time.Since(start).Milliseconds()
 		if c.metrics != nil {
 			c.metrics.RetunesInFlight.Add(-1)

@@ -46,13 +46,13 @@ type Lab struct {
 	Parallelism int
 
 	mu        sync.Mutex
-	engMu     map[string]*sync.Mutex // per (system, database) cell
-	engines   map[string]*engine.Engine
-	workloads map[string]workload.Family
-	recs      map[string]recResult
-	runs      map[string][]core.Measure
-	builds    map[string]engine.BuildReport
-	current   map[string]string // engine key -> applied config name
+	engMu     map[string]*sync.Mutex        // conflint:guardedby mu (per (system, database) cell)
+	engines   map[string]*engine.Engine     // conflint:guardedby mu
+	workloads map[string]workload.Family    // conflint:guardedby mu
+	recs      map[string]recResult          // conflint:guardedby mu
+	runs      map[string][]core.Measure     // conflint:guardedby mu
+	builds    map[string]engine.BuildReport // conflint:guardedby mu
+	current   map[string]string             // conflint:guardedby mu (engine key -> applied config name)
 }
 
 type recResult struct {

@@ -71,11 +71,11 @@ type Engine struct {
 	// runs under mu.RLock, so map access needs a separate lock. It is
 	// always innermost — nothing acquires mu while holding it.
 	statsMu sync.Mutex
-	tstats  map[string]*stats.TableStats
+	tstats  map[string]*stats.TableStats // conflint:guardedby statsMu
 
-	current conf.Configuration
-	indexes map[string][]*plan.IndexInfo // by lower-case relation name
-	views   []*plan.ViewInfo
+	current conf.Configuration           // conflint:guardedby mu
+	indexes map[string][]*plan.IndexInfo // conflint:guardedby mu (keyed by lower-case relation name)
+	views   []*plan.ViewInfo             // conflint:guardedby mu
 }
 
 // New creates an empty engine for the schema at the given data scale

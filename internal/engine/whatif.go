@@ -36,8 +36,8 @@ type WhatIf struct {
 	// mu guards the derivation caches. Lock ordering: acquired after the
 	// engine's reader lock, never the other way around.
 	mu         sync.Mutex
-	indexCache map[string]*plan.IndexInfo
-	viewCache  map[string]*plan.ViewInfo
+	indexCache map[string]*plan.IndexInfo // conflint:guardedby mu
+	viewCache  map[string]*plan.ViewInfo  // conflint:guardedby mu
 }
 
 // NewWhatIf opens a what-if session against the current configuration.

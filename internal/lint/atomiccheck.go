@@ -1,0 +1,336 @@
+// The atomic-discipline analyzer guards the Metrics counters' lock-free
+// contract (PR 2): a field that is ever accessed atomically must be
+// accessed atomically everywhere, and raw 64-bit fields driven through
+// sync/atomic functions must be alignment-safe on 32-bit platforms.
+//
+// Two field families are tracked per package:
+//
+//   - typed atomics (atomic.Int64 and friends): every use must go through
+//     a method call (Load/Store/Add/...); a bare read of the field value
+//     is a data race that the race detector only catches when a test
+//     happens to collide on it.
+//   - raw atomics: plain int64/uint64 fields passed by address to
+//     atomic.AddInt64-style functions. Any other read or write of such a
+//     field is flagged, and the field's offset must be 8-byte aligned
+//     under 32-bit layout rules (the documented sync/atomic requirement;
+//     typed atomics embed align64 and are immune).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+var atomicMethodNames = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+// atomicTypedNames are the sync/atomic value types.
+var atomicTypedNames = map[string]bool{
+	"Int32": true, "Int64": true, "Uint32": true, "Uint64": true,
+	"Uintptr": true, "Bool": true, "Value": true, "Pointer": true,
+}
+
+// atomicFuncWidth maps sync/atomic function names to the bit width of the
+// word they operate on (0 = not an atomic accessor).
+func atomicFuncWidth(name string) int {
+	switch name {
+	case "AddInt64", "LoadInt64", "StoreInt64", "SwapInt64", "CompareAndSwapInt64",
+		"AddUint64", "LoadUint64", "StoreUint64", "SwapUint64", "CompareAndSwapUint64":
+		return 64
+	case "AddInt32", "LoadInt32", "StoreInt32", "SwapInt32", "CompareAndSwapInt32",
+		"AddUint32", "LoadUint32", "StoreUint32", "SwapUint32", "CompareAndSwapUint32",
+		"AddUintptr", "LoadUintptr", "StoreUintptr", "SwapUintptr", "CompareAndSwapUintptr":
+		return 32
+	}
+	return 0
+}
+
+// AtomicCheck returns the atomic-discipline analyzer.
+func AtomicCheck() *Analyzer {
+	return &Analyzer{
+		Name:  "atomic",
+		Doc:   "fields accessed via sync/atomic must never be accessed plainly, and raw 64-bit atomics must be alignment-safe",
+		Check: checkAtomics,
+	}
+}
+
+// fieldKey identifies a struct field across a package.
+type fieldKey struct {
+	typ   string // NamedKey of the struct
+	field string
+}
+
+// atomicSets are the module-wide tracked fields, computed once: typed
+// atomic fields by declaring struct, raw atomically-accessed fields with
+// their bit width, and the sanctioned &x.f nodes inside atomic calls.
+type atomicSets struct {
+	typed      map[fieldKey]bool
+	raw        map[fieldKey]int
+	sanctioned map[ast.Node]bool
+}
+
+func atomicSetsOf(m *Module) *atomicSets {
+	if m.atomics != nil {
+		return m.atomics
+	}
+	s := &atomicSets{
+		typed:      make(map[fieldKey]bool),
+		raw:        make(map[fieldKey]int),
+		sanctioned: make(map[ast.Node]bool),
+	}
+	for _, p := range m.Pkgs {
+		// Typed atomic fields declared on this package's structs.
+		for _, f := range p.Files {
+			for _, d := range f.AST.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					key := p.ImportPath + "." + ts.Name.Name
+					for _, fld := range st.Fields.List {
+						if !isAtomicTyped(f, fld.Type) {
+							continue
+						}
+						for _, n := range fld.Names {
+							s.typed[fieldKey{key, n.Name}] = true
+						}
+					}
+				}
+			}
+		}
+		// Raw fields accessed through sync/atomic functions.
+		for _, f := range p.Files {
+			for _, fn := range fileFuncs(f) {
+				fn := fn
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					base, ok := sel.X.(*ast.Ident)
+					if !ok || importPathOf(f, base.Name) != "sync/atomic" {
+						return true
+					}
+					width := atomicFuncWidth(sel.Sel.Name)
+					if width == 0 || len(call.Args) == 0 {
+						return true
+					}
+					addr, ok := call.Args[0].(*ast.UnaryExpr)
+					if !ok {
+						return true
+					}
+					fieldSel, ok := addr.X.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					recv := m.TypeOf(p, f, fn, fieldSel.X)
+					if key := m.NamedKey(recv); key != "" {
+						s.raw[fieldKey{key, fieldSel.Sel.Name}] = width
+						s.sanctioned[fieldSel] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+	m.atomics = s
+	return s
+}
+
+func checkAtomics(p *Package) []Finding {
+	m := p.Mod
+	fset := m.Fset
+	var out []Finding
+
+	sets := atomicSetsOf(m)
+	typed, raw, sanctioned := sets.typed, sets.raw, sets.sanctioned
+
+	// Pass 2: every selector use of a tracked field must be atomic.
+	for _, f := range p.Files {
+		for _, fn := range fileFuncs(f) {
+			fn := fn
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv := m.TypeOf(p, f, fn, sel.X)
+				key := m.NamedKey(recv)
+				if key == "" {
+					return true
+				}
+				fk := fieldKey{key, sel.Sel.Name}
+				if typed[fk] {
+					// Allowed only as the receiver of an atomic method:
+					// parent must be a SelectorExpr naming one.
+					if par, ok := f.Parent(sel).(*ast.SelectorExpr); ok && atomicMethodNames[par.Sel.Name] {
+						return true
+					}
+					pos := fset.Position(sel.Pos())
+					out = append(out, Finding{
+						Rule: "atomic", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("atomic field %s.%s used without an atomic method: this is a data race with its lock-free writers", shortKey(key), sel.Sel.Name),
+						Hint:    fmt.Sprintf("use %s.Load() / .Store() / .Add()", exprString(fset, sel)),
+					})
+					return true
+				}
+				if _, ok := raw[fk]; ok && !sanctioned[sel] {
+					pos := fset.Position(sel.Pos())
+					out = append(out, Finding{
+						Rule: "atomic", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("field %s.%s is accessed via sync/atomic elsewhere but plainly here: mixed access is a data race", shortKey(key), sel.Sel.Name),
+						Hint:    "route every access through the same sync/atomic calls (or switch the field to atomic.Int64)",
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: alignment of raw 64-bit atomic fields under 32-bit layout,
+	// reported once, against the declaring package.
+	for fk, width := range raw {
+		if width != 64 {
+			continue
+		}
+		st, td := m.StructOf(fk.typ)
+		if st == nil || td.pkg != p {
+			continue
+		}
+		off, known := fieldOffset32(m, td.file, st, fk.field)
+		if known && off%8 != 0 {
+			pos := fset.Position(st.Pos())
+			for _, fld := range st.Fields.List {
+				for _, n := range fld.Names {
+					if n.Name == fk.field {
+						pos = fset.Position(n.Pos())
+					}
+				}
+			}
+			out = append(out, Finding{
+				Rule: "atomic", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: fmt.Sprintf("64-bit atomic field %s.%s sits at 32-bit offset %d: sync/atomic requires 8-byte alignment on 32-bit platforms", shortKey(fk.typ), fk.field, off),
+				Hint:    "move the field to the front of the struct, pad to 8 bytes, or use atomic.Int64 (which embeds align64)",
+			})
+		}
+	}
+	return out
+}
+
+// isAtomicTyped reports whether a field type is one of sync/atomic's
+// value types.
+func isAtomicTyped(f *File, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	return ok && importPathOf(f, base.Name) == "sync/atomic" && atomicTypedNames[sel.Sel.Name]
+}
+
+// fileFuncs returns the file's function declarations with bodies.
+func fileFuncs(f *File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.AST.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+func shortKey(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+// size32 returns (size, alignment) of a type under 32-bit layout rules,
+// or ok=false when the type cannot be sized syntactically.
+func size32(m *Module, f *File, t ast.Expr) (size, align int, ok bool) {
+	switch e := t.(type) {
+	case *ast.Ident:
+		switch e.Name {
+		case "bool", "int8", "uint8", "byte":
+			return 1, 1, true
+		case "int16", "uint16":
+			return 2, 2, true
+		case "int32", "uint32", "int", "uint", "uintptr", "float32", "rune":
+			return 4, 4, true
+		case "int64", "uint64", "float64":
+			// 8 bytes but only 4-byte aligned on 32-bit: the trap this
+			// analyzer exists to catch.
+			return 8, 4, true
+		case "string":
+			return 8, 4, true
+		case "complex64":
+			return 8, 4, true
+		}
+		return 0, 0, false
+	case *ast.StarExpr, *ast.MapType, *ast.ChanType, *ast.FuncType:
+		return 4, 4, true
+	case *ast.ArrayType:
+		if e.Len == nil { // slice header
+			return 12, 4, true
+		}
+		return 0, 0, false
+	case *ast.InterfaceType:
+		return 8, 4, true
+	case *ast.SelectorExpr:
+		if base, ok2 := e.X.(*ast.Ident); ok2 && importPathOf(f, base.Name) == "sync/atomic" {
+			switch e.Sel.Name {
+			case "Int64", "Uint64":
+				return 8, 8, true // align64 padding makes these 8-aligned
+			case "Int32", "Uint32", "Bool":
+				return 4, 4, true
+			}
+		}
+		return 0, 0, false
+	}
+	return 0, 0, false
+}
+
+// fieldOffset32 computes a field's byte offset in a struct under 32-bit
+// layout. Unknown field types make the whole struct unsizeable (no
+// finding rather than a wrong one).
+func fieldOffset32(m *Module, f *File, st *ast.StructType, field string) (int, bool) {
+	off := 0
+	for _, fld := range st.Fields.List {
+		sz, al, ok := size32(m, f, fld.Type)
+		if !ok {
+			return 0, false
+		}
+		names := len(fld.Names)
+		if names == 0 {
+			names = 1
+		}
+		for i := 0; i < names; i++ {
+			if al > 0 && off%al != 0 {
+				off += al - off%al
+			}
+			if i < len(fld.Names) && fld.Names[i].Name == field {
+				return off, true
+			}
+			off += sz
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,423 @@
+// Package lint implements conflint, the repository's own static-analysis
+// suite. It enforces, at the source level, the invariants PR 1 and PR 2
+// established by construction and test: the engine's lock discipline, the
+// determinism of everything that feeds rendered reports, the atomicity of
+// the metrics counters, and the absence of silently dropped errors.
+//
+// The suite is stdlib-only: packages are parsed with go/parser and
+// analyzed syntactically with a lightweight name-resolution layer
+// (resolve.go) instead of go/types, so it runs on a bare toolchain with
+// no module dependencies. Resolution is deliberately conservative — an
+// expression whose type cannot be determined produces no findings — so
+// every reported finding is worth reading, at the price of a few
+// undetectable corner cases (documented per analyzer).
+//
+// Findings can be suppressed line-by-line with
+//
+//	// conflint:ignore <reason>
+//
+// placed on the offending line or the line directly above. The reason is
+// mandatory; a bare directive is itself a finding. Policy (see README
+// "Invariants & static analysis"): directives are for provably benign
+// cases only — wall-clock observability that never reaches a rendered
+// report, best-effort writes to a disconnecting HTTP client — never for
+// silencing a rule the code could satisfy.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Hint, when non-empty, is a suggested edit (the -hints mode prints
+	// it under the offending source line).
+	Hint string `json:"hint,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// File is one parsed, non-test Go source file.
+type File struct {
+	Path string // absolute path
+	AST  *ast.File
+	// lines is the raw source split by newline, for -hints output.
+	lines []string
+	// ignores maps a directive's own line number to its reason. A
+	// directive suppresses findings on its line and the line below.
+	ignores map[int]string
+	// parents maps every AST node to its parent, built on demand.
+	parents map[ast.Node]ast.Node
+}
+
+// SourceLine returns the 1-based source line, or "".
+func (f *File) SourceLine(n int) string {
+	if n < 1 || n > len(f.lines) {
+		return ""
+	}
+	return f.lines[n-1]
+}
+
+// Parent returns the syntactic parent of a node in this file.
+func (f *File) Parent(n ast.Node) ast.Node {
+	if f.parents == nil {
+		f.parents = make(map[ast.Node]ast.Node)
+		var stack []ast.Node
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				f.parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return f.parents[n]
+}
+
+// Package is one parsed package directory.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Files      []*File
+	Mod        *Module
+}
+
+// Module is a loaded source tree: the unit conflint runs over.
+type Module struct {
+	Root string // directory containing go.mod (or the fixture dir)
+	Path string // module path from go.mod ("fixture" for test loads)
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	idx     *index      // lazy resolution indexes (resolve.go)
+	atomics *atomicSets // lazy module-wide atomic-field sets (atomiccheck.go)
+}
+
+// Analyzer is one conflint rule.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Check func(p *Package) []Finding
+}
+
+// All returns every analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockCheck(),
+		Determinism(),
+		AtomicCheck(),
+		ErrCheck(),
+	}
+}
+
+// ByNames resolves a comma-separated rule list against All.
+func ByNames(csv string) ([]*Analyzer, error) {
+	if csv == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(csv, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have: %s)", n, ruleNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func ruleNames() string {
+	var ns []string
+	for _, a := range All() {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// skippedDirs are never descended into when loading a module.
+func skipDir(name string) bool {
+	switch name {
+	case "testdata", "vendor", "artifacts":
+		return true
+	}
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses every non-test Go file under root (the directory
+// holding go.mod). Test files are excluded by design: the invariants
+// guard production code paths, and test helpers legitimately drop errors
+// and read clocks.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := m.loadDir(path, imp)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			m.Pkgs = append(m.Pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].ImportPath < m.Pkgs[j].ImportPath })
+	return m, nil
+}
+
+// LoadFixture parses a single directory as a one-package module (the
+// fixture tests' entry point).
+func LoadFixture(dir string) (*Module, error) {
+	m := &Module{Root: dir, Path: "fixture", Fset: token.NewFileSet()}
+	pkg, err := m.loadDir(dir, "fixture")
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	m.Pkgs = []*Package{pkg}
+	return m, nil
+}
+
+// loadDir parses the non-test Go files of one directory, returning nil
+// when there are none.
+func (m *Module) loadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Mod: m}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(m.Fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		file := &File{
+			Path:    path,
+			AST:     f,
+			lines:   strings.Split(string(src), "\n"),
+			ignores: scanIgnores(m.Fset, f),
+		}
+		pkg.Files = append(pkg.Files, file)
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Path < pkg.Files[j].Path })
+	return pkg, nil
+}
+
+// modulePath extracts the module path from a go.mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+const ignoreDirective = "conflint:ignore"
+
+// scanIgnores collects ignore directives: comment line -> reason.
+func scanIgnores(fset *token.FileSet, f *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if rest, ok := strings.CutPrefix(text, ignoreDirective); ok {
+				out[fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over every package, applies ignore
+// directives, reports reason-less directives, and returns findings in
+// position order.
+func Run(m *Module, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, p := range m.Pkgs {
+		for _, a := range analyzers {
+			raw = append(raw, a.Check(p)...)
+		}
+	}
+	var out []Finding
+	for _, f := range raw {
+		if reason, ok := m.ignoreAt(f.File, f.Line); ok {
+			if reason != "" {
+				continue
+			}
+			// Fall through: a bare directive suppresses nothing.
+		}
+		out = append(out, f)
+	}
+	// A directive with no reason is a finding in its own right, whether
+	// or not it had anything to suppress.
+	for _, p := range m.Pkgs {
+		for _, file := range p.Files {
+			for line, reason := range file.ignores {
+				if reason == "" {
+					out = append(out, Finding{
+						Rule: "ignore", File: file.Path, Line: line, Col: 1,
+						Message: "conflint:ignore needs a reason (// conflint:ignore <why this is safe>)",
+						Hint:    "state why the finding is a false alarm, or fix the code",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// ignoreAt reports whether a directive covers the given line (the
+// directive's own line or the one directly above it).
+func (m *Module) ignoreAt(path string, line int) (string, bool) {
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			if f.Path != path {
+				continue
+			}
+			if r, ok := f.ignores[line]; ok {
+				return r, true
+			}
+			if r, ok := f.ignores[line-1]; ok {
+				return r, true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// fileOf returns the loaded file for a path, if any.
+func (m *Module) fileOf(path string) *File {
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			if f.Path == path {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// RenderText prints findings for humans; with hints, each finding is
+// followed by the offending source line and a suggested edit.
+func RenderText(m *Module, fs []Finding, hints bool) string {
+	var b strings.Builder
+	for _, f := range fs {
+		rel := f.File
+		if r, err := filepath.Rel(m.Root, f.File); err == nil {
+			rel = r
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", rel, f.Line, f.Col, f.Rule, f.Message)
+		if hints {
+			if file := m.fileOf(f.File); file != nil {
+				if src := strings.TrimRight(file.SourceLine(f.Line), " \t"); src != "" {
+					fmt.Fprintf(&b, "        %s\n", strings.TrimLeft(src, " \t"))
+				}
+			}
+			if f.Hint != "" {
+				fmt.Fprintf(&b, "        fix: %s\n", f.Hint)
+			}
+		}
+	}
+	return b.String()
+}
+
+// RenderJSON prints findings as a JSON array (paths relative to root).
+func RenderJSON(m *Module, fs []Finding) (string, error) {
+	rel := make([]Finding, len(fs))
+	for i, f := range fs {
+		rel[i] = f
+		if r, err := filepath.Rel(m.Root, f.File); err == nil {
+			rel[i].File = r
+		}
+	}
+	data, err := json.MarshalIndent(rel, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}

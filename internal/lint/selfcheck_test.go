@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the self-run gate: the repository must pass its own
+// analyzers with zero findings. A failure here means a real invariant
+// violation landed (fix the code) or an analyzer regressed into a false
+// positive (fix the analyzer) — never "add a directive to make CI green".
+func TestRepoIsClean(t *testing.T) {
+	m, err := LoadModule(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(m, All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("conflint found %d violation(s) in the repository", len(findings))
+	}
+}

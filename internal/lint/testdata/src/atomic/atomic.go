@@ -1,0 +1,46 @@
+// Fixture for the atomic-discipline analyzer: typed atomics bypassed,
+// raw atomics read plainly, and a misaligned 64-bit raw atomic.
+package atomicfix
+
+import "sync/atomic"
+
+// Counters uses a typed atomic.
+type Counters struct {
+	hits atomic.Int64
+}
+
+// Hit is clean: every access goes through an atomic method.
+func (c *Counters) Hit() { c.hits.Add(1) }
+
+// Bad copies the atomic value out, bypassing Load.
+func (c *Counters) Bad() atomic.Int64 {
+	return c.hits // want "Counters\.hits used without an atomic method"
+}
+
+// Raw drives a plain int64 through sync/atomic functions. The bool in
+// front leaves hits at offset 4 under 32-bit layout: misaligned.
+type Raw struct {
+	flag bool
+	hits int64 // want "sits at 32-bit offset 4"
+}
+
+// Inc is the sanctioned access.
+func (r *Raw) Inc() { atomic.AddInt64(&r.hits, 1) }
+
+// Peek mixes in a plain read.
+func (r *Raw) Peek() int64 {
+	return r.hits // want "accessed via sync/atomic elsewhere but plainly here"
+}
+
+// Aligned keeps the 64-bit word first: no alignment finding, and all
+// access is atomic.
+type Aligned struct {
+	hits int64
+	flag bool
+}
+
+// Touch is clean.
+func (a *Aligned) Touch() {
+	atomic.AddInt64(&a.hits, 1)
+	a.flag = true
+}

@@ -1,0 +1,56 @@
+// Fixture for the determinism analyzer. The package is named core on
+// purpose: the rule scopes by package name, so the fixture is checked
+// exactly like the real report-producing packages.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Now reads the wall clock in a report-producing package.
+func Now() int64 {
+	return time.Now().Unix() // want "time\.Now in package core"
+}
+
+// Roll draws from the global math/rand source.
+func Roll() int {
+	return rand.Intn(6) // want "rand\.Intn uses the global math/rand source"
+}
+
+// Seeded is the sanctioned pattern: constructors are allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Render writes output directly from a map range.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want "map iteration feeds ordered output"
+	}
+	return b.String()
+}
+
+// Collect builds a slice from a map range and never sorts it.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "slice that Collect never sorts"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorted is the sanctioned pattern: collect, sort, then use.
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,58 @@
+// Fixture for the unchecked-error analyzer: the three discard shapes,
+// the escape hatch, and the conventional allowlist.
+package errfix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// Discard drops the error as an expression statement.
+func Discard() {
+	mayFail() // want "result of mayFail is an error and this statement discards it"
+}
+
+// GoDrop loses the error in a goroutine.
+func GoDrop() {
+	go mayFail() // want "dies silently when it fails"
+}
+
+// DeferDrop loses the error in a defer.
+func DeferDrop() {
+	defer mayFail() // want "defer mayFail drops its error"
+}
+
+// Blank discards the error result position.
+func Blank() float64 {
+	f, _ := strconv.ParseFloat("3", 64) // want "blank identifier discards the error from strconv\.ParseFloat"
+	return f
+}
+
+// Assigned discards through a bare blank assignment.
+func Assigned() {
+	_ = mayFail() // want "discards an error without a conflint:ignore reason"
+}
+
+// Ignored is the sanctioned escape hatch: reasoned, so no finding.
+func Ignored() {
+	_ = mayFail() // conflint:ignore fixture demonstrates the sanctioned escape hatch
+}
+
+// Handled is clean.
+func Handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Allowed exercises the conventional allowlist: the fmt print family and
+// strings.Builder writes never need checking.
+func Allowed(b *strings.Builder) string {
+	b.WriteString("ok")
+	fmt.Println("fine")
+	return b.String()
+}

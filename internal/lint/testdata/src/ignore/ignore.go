@@ -1,0 +1,13 @@
+// Fixture for the ignore-directive rule: a directive without a reason is
+// itself a finding and suppresses nothing (see TestBareIgnoreDirective,
+// which pins the line numbers below).
+package ignorefix
+
+func mayFail() error { return nil }
+
+// Bare has a reason-less directive on line 11; the discard on line 12
+// stays a finding too.
+func Bare() {
+	// conflint:ignore
+	_ = mayFail()
+}

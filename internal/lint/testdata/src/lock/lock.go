@@ -1,0 +1,59 @@
+// Fixture for the lock-discipline analyzer: one violation per rule,
+// alongside clean code that must produce no findings.
+package lockfix
+
+import "sync"
+
+// Annotated follows the protocol: the guarded field is declared.
+type Annotated struct {
+	mu sync.RWMutex
+	n  int // conflint:guardedby mu
+}
+
+// Get is clean: read under the reader lock.
+func (a *Annotated) Get() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.n
+}
+
+// Set writes under the reader lock: wrong side.
+func (a *Annotated) Set(v int) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	a.n = v // want "under a\.mu\.RLock\(\): writers need the exclusive side"
+}
+
+// Bump writes with no lock at all.
+func (a *Annotated) Bump() {
+	a.n++ // want "writes guarded field a\.n without holding a\.mu\.Lock"
+}
+
+// Peek reads with no lock at all.
+func (a *Annotated) Peek() int {
+	return a.n // want "reads guarded field a\.n without holding"
+}
+
+// Leak acquires without releasing.
+func (a *Annotated) Leak() {
+	a.mu.Lock() // want "a\.mu\.Lock\(\) without a\.mu\.Unlock\(\)"
+	a.n = 1
+}
+
+// sweep is unexported: the caller-holds-mu convention applies, no finding.
+func (a *Annotated) sweep() {
+	a.n = 0
+}
+
+// Unannotated has a mutex but declares nothing about it.
+type Unannotated struct { // want "no conflint:guardedby annotations"
+	mu sync.Mutex
+	n  int
+}
+
+// Lock/Unlock here are paired, so only the annotation finding fires.
+func (u *Unannotated) Touch() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.n++
+}

@@ -364,8 +364,12 @@ func (p *parser) parseOperand() (Expr, error) {
 		}
 		return ColExpr{Ref: c}, nil
 	case tokNumber:
+		v, err := parseNumber(t.text)
+		if err != nil {
+			return nil, p.errHere("malformed number")
+		}
 		p.pos++
-		return LitExpr{Val: parseNumber(t.text)}, nil
+		return LitExpr{Val: v}, nil
 	case tokString:
 		p.pos++
 		return LitExpr{Val: val.String(t.text)}, nil
@@ -378,14 +382,17 @@ func (p *parser) parseOperand() (Expr, error) {
 	return nil, p.errHere("expected column, number or string")
 }
 
-func parseNumber(text string) val.Value {
+func parseNumber(text string) (val.Value, error) {
 	if !strings.ContainsAny(text, ".eE") {
 		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
-			return val.Int(i)
+			return val.Int(i), nil
 		}
 	}
-	f, _ := strconv.ParseFloat(text, 64)
-	return val.Float(f)
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return val.Value{}, err
+	}
+	return val.Float(f), nil
 }
 
 func (p *parser) parseHaving() (*Having, error) {
@@ -443,7 +450,11 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 			t := p.cur()
 			switch t.kind {
 			case tokNumber:
-				row = append(row, parseNumber(t.text))
+				v, err := parseNumber(t.text)
+				if err != nil {
+					return nil, p.errHere("malformed number")
+				}
+				row = append(row, v)
 			case tokString:
 				row = append(row, val.String(t.text))
 			case tokKeyword:
