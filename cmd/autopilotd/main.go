@@ -204,6 +204,7 @@ func main() {
 			os.Exit(1)
 		}
 		srv = &http.Server{Handler: ap.Metrics().Handler()}
+		// conflint:worker metrics server lives for the whole process; srv.Shutdown below stops it
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "autopilotd: metrics server:", err)

@@ -12,15 +12,24 @@
 // like atomic-discipline need the whole tree — and the patterns only select
 // which packages' findings are reported.
 //
+// A baseline file (-baseline) suppresses known findings so the tool can be
+// adopted on a codebase that is not yet clean. Entries are keyed by
+// rule+package+symbol — never line numbers — so unrelated edits in a file do
+// not invalidate the baseline. This repository's end state is an empty
+// baseline: every rule runs clean with no suppressions.
+//
 // Exit status: 0 no findings, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -30,13 +39,16 @@ func main() {
 }
 
 func run() int {
+	start := time.Now()
 	fs := flag.NewFlagSet("conflint", flag.ContinueOnError)
 	var (
-		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array (lockorder findings carry their witness path)")
 		hints     = fs.Bool("hints", false, "lint-fix-hints mode: print the offending line and a suggested edit under each finding")
-		rules     = fs.String("rules", "", "comma-separated rule subset (default: all); names: lock, determinism, atomic, errcheck")
-		benchJSON = fs.String("bench-json", "", "write a BENCH-style JSON record (finding counts per rule) to this file")
+		rules     = fs.String("rules", "", "comma-separated rule subset (default: all); names: lock, determinism, atomic, errcheck, lockorder, goleak, hotalloc")
+		benchJSON = fs.String("bench-json", "", "write a BENCH-style JSON record (finding counts per rule, callgraph size) to this file")
 		listRules = fs.Bool("list-rules", false, "print the analyzers and exit")
+		baseline  = fs.String("baseline", "", "suppress findings matching this baseline file (entries keyed rule+package+symbol)")
+		writeBase = fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: conflint [flags] [packages]\n")
@@ -73,8 +85,36 @@ func run() int {
 	findings := lint.Run(m, analyzers)
 	findings = filterFindings(root, findings, fs.Args())
 
+	if *writeBase != "" {
+		if err := writeBaseline(*writeBase, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "conflint: wrote %d baseline entries to %s\n",
+			len(baselineEntries(findings)), *writeBase)
+		return 0
+	}
+
+	baselined := 0
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if base[baselineKey(f.Rule, f.Package, f.Symbol)] {
+				baselined++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		findings = kept
+	}
+
 	if *benchJSON != "" {
-		if err := writeBench(*benchJSON, analyzers, findings); err != nil {
+		if err := writeBench(*benchJSON, m, analyzers, findings); err != nil {
 			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
 			return 2
 		}
@@ -91,8 +131,11 @@ func run() int {
 		fmt.Print(lint.RenderText(m, findings, *hints))
 	}
 
+	nodes, edges := m.Graph().Stats()
+	fmt.Fprintf(os.Stderr, "conflint: %d rules, %d finding(s) (%d baselined), callgraph %d nodes / %d edges, %.2fs wall\n",
+		len(analyzers), len(findings), baselined, nodes, edges, time.Since(start).Seconds())
+
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "conflint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
@@ -151,9 +194,70 @@ func matchPattern(relDir, pat string) bool {
 	return relDir == pat
 }
 
+// baselineEntry is one suppressed finding. Line numbers are deliberately
+// absent: a baseline keyed on positions would rot on every unrelated edit.
+type baselineEntry struct {
+	Rule    string `json:"rule"`
+	Package string `json:"package"`
+	Symbol  string `json:"symbol"`
+}
+
+func baselineKey(rule, pkg, symbol string) string {
+	return rule + "\x00" + pkg + "\x00" + symbol
+}
+
+// baselineEntries dedupes and sorts the findings into baseline form.
+func baselineEntries(fs []lint.Finding) []baselineEntry {
+	seen := make(map[string]bool, len(fs))
+	out := make([]baselineEntry, 0, len(fs))
+	for _, f := range fs {
+		k := baselineKey(f.Rule, f.Package, f.Symbol)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, baselineEntry{Rule: f.Rule, Package: f.Package, Symbol: f.Symbol})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Symbol < b.Symbol
+	})
+	return out
+}
+
+func writeBaseline(path string, fs []lint.Finding) error {
+	data, err := json.MarshalIndent(baselineEntries(fs), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	out := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		out[baselineKey(e.Rule, e.Package, e.Symbol)] = true
+	}
+	return out, nil
+}
+
 // writeBench records the run in the same shape as the BENCH_*.json
 // artifacts the other harnesses produce.
-func writeBench(path string, analyzers []*lint.Analyzer, fs []lint.Finding) error {
+func writeBench(path string, m *lint.Module, analyzers []*lint.Analyzer, fs []lint.Finding) error {
 	perRule := make(map[string]int)
 	for _, a := range analyzers {
 		perRule[a.Name] = 0
@@ -161,11 +265,13 @@ func writeBench(path string, analyzers []*lint.Analyzer, fs []lint.Finding) erro
 	for _, f := range fs {
 		perRule[f.Rule]++
 	}
+	nodes, edges := m.Graph().Stats()
 	var b strings.Builder
 	b.WriteString("{\n  \"bench\": \"conflint\",\n")
 	fmt.Fprintf(&b, "  \"findings\": %d,\n", len(fs))
+	fmt.Fprintf(&b, "  \"callgraph\": {\"nodes\": %d, \"edges\": %d},\n", nodes, edges)
 	b.WriteString("  \"per_rule\": {")
-	var names []string
+	names := make([]string, 0, len(analyzers)+1)
 	for _, a := range analyzers {
 		names = append(names, a.Name)
 	}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestBaselineRoundTrip writes a baseline from findings and reads it
+// back: entries are deduped, sorted, and keyed rule+package+symbol —
+// never line numbers, so a moved finding still matches.
+func TestBaselineRoundTrip(t *testing.T) {
+	fs := []lint.Finding{
+		{Rule: "hotalloc", Package: "optimizer", Symbol: "search.indexJoinCands", Line: 444},
+		{Rule: "goleak", Package: "main", Symbol: "main", Line: 207},
+		{Rule: "hotalloc", Package: "optimizer", Symbol: "search.indexJoinCands", Line: 450}, // same symbol, other line
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaseline(path, fs); err != nil {
+		t.Fatal(err)
+	}
+	entries := baselineEntries(fs)
+	if len(entries) != 2 {
+		t.Fatalf("want 2 deduped entries, got %d: %v", len(entries), entries)
+	}
+	if entries[0].Rule != "goleak" || entries[1].Rule != "hotalloc" {
+		t.Errorf("entries not sorted by rule: %v", entries)
+	}
+
+	base, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A finding at a new line with the same symbol still matches.
+	if !base[baselineKey("hotalloc", "optimizer", "search.indexJoinCands")] {
+		t.Error("baseline lost the hotalloc entry")
+	}
+	if !base[baselineKey("goleak", "main", "main")] {
+		t.Error("baseline lost the goleak entry")
+	}
+	if base[baselineKey("hotalloc", "optimizer", "otherFunc")] {
+		t.Error("baseline matches a symbol it does not contain")
+	}
+}
+
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(path); err == nil {
+		t.Error("want an error for malformed baseline JSON")
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		rel, pat string
+		want     bool
+	}{
+		{"internal/engine", "./...", true},
+		{"internal/engine", "internal/...", true},
+		{"internal/engine", "./internal/engine", true},
+		{"internal/engine", "internal/eng", false},
+		{"cmd/conflint", "internal/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.rel, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.rel, c.pat, got, c.want)
+		}
+	}
+}

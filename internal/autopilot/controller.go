@@ -192,7 +192,7 @@ func (c *controller) retune(job *retuneJob, sqls []string) {
 // support, not its multiset.
 func dedupe(sqls []string) []string {
 	seen := make(map[string]bool, len(sqls))
-	var out []string
+	out := make([]string, 0, len(sqls))
 	for _, s := range sqls {
 		if !seen[s] {
 			seen[s] = true

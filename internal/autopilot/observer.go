@@ -73,7 +73,7 @@ func (o *observer) observe(w int, cfgName string, qs []workload.Query, ms, est [
 		Satisfied:    o.goal.Satisfied(cfc),
 		Satisfaction: o.goal.Satisfaction(cfc),
 	}
-	var ratios []float64
+	ratios := make([]float64, 0, len(ms))
 	for i := range ms {
 		if i >= len(est) || ms[i].TimedOut || ms[i].Seconds <= 0 {
 			continue

@@ -156,7 +156,7 @@ func (t *Table) RowWidth() int {
 // IndexableColumns returns the names of all indexable columns in
 // declaration order. This defines the 1C configuration for the table.
 func (t *Table) IndexableColumns() []string {
-	var out []string
+	out := make([]string, 0, len(t.Columns))
 	for _, c := range t.Columns {
 		if c.Indexable {
 			out = append(out, c.Name)

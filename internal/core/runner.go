@@ -89,6 +89,9 @@ func (r Runner) each(n int, fn func(i int) error) error {
 // RunWorkload executes every query under the engine's current
 // configuration with the timeout, returning the A(q, C) measures in
 // workload order.
+//
+// conflint:hotpath — one call per query per window; everything reachable
+// from here is the measure path.
 func (r Runner) RunWorkload(e *engine.Engine, queries []string, timeout float64) ([]Measure, error) {
 	out := make([]Measure, len(queries))
 	err := r.each(len(queries), func(i int) error {
@@ -110,6 +113,9 @@ func (r Runner) RunWorkload(e *engine.Engine, queries []string, timeout float64)
 
 // EstimateWorkload returns the optimizer estimates E(q, C) under the
 // current configuration.
+//
+// conflint:hotpath — runs once per query per window alongside the
+// measured pass.
 func (r Runner) EstimateWorkload(e *engine.Engine, queries []string) ([]Measure, error) {
 	out := make([]Measure, len(queries))
 	err := r.each(len(queries), func(i int) error {
@@ -131,6 +137,9 @@ func (r Runner) EstimateWorkload(e *engine.Engine, queries []string) ([]Measure,
 // One what-if session is shared by all workers, so the per-structure
 // statistics derivation is paid once; the session's caches are
 // internally synchronized.
+//
+// conflint:hotpath — the controller predicts over every window's
+// queries through this path.
 func (r Runner) WhatIfWorkload(e *engine.Engine, queries []string, hypo conf.Configuration) ([]Measure, error) {
 	w := e.NewWhatIf()
 	out := make([]Measure, len(queries))

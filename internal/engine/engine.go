@@ -16,6 +16,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -393,7 +394,7 @@ func (e *Engine) buildView(vd conf.ViewDef) (*plan.ViewInfo, cost.Meter, error) 
 	for i, o := range q.Out {
 		src := q.Tables[o.Col.Tab].Table.Columns[o.Col.Col]
 		cols[i] = catalog.Column{
-			Name:      fmt.Sprintf("c%d", i),
+			Name:      "c" + strconv.Itoa(i),
 			Type:      src.Type,
 			Domain:    src.Domain,
 			Indexable: src.Indexable,

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -104,7 +105,7 @@ func (w *WhatIf) EstimateSize(hypo conf.Configuration) int64 {
 func (w *WhatIf) physical(hypo conf.Configuration) (*plan.Physical, error) {
 	phys := w.e.physical(w.e.Profile.Opts)
 	indexes := make(map[string][]*plan.IndexInfo)
-	var views []*plan.ViewInfo
+	views := make([]*plan.ViewInfo, 0, len(hypo.Views))
 
 	for _, vd := range hypo.Views {
 		if actual := w.e.findView(vd.Name); actual != nil {
@@ -289,7 +290,7 @@ func (w *WhatIf) hypoView(vd conf.ViewDef) (*plan.ViewInfo, error) {
 	for i, o := range q.Out {
 		src := q.Tables[o.Col.Tab].Table.Columns[o.Col.Col]
 		cols[i] = catalog.Column{
-			Name: fmt.Sprintf("c%d", i), Type: src.Type, Domain: src.Domain,
+			Name: "c" + strconv.Itoa(i), Type: src.Type, Domain: src.Domain,
 			Indexable: src.Indexable, AvgWidth: src.AvgWidth,
 		}
 		outSrc[i] = o.Col

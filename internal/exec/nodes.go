@@ -142,7 +142,7 @@ func (e *executor) runIndexScan(n *plan.IndexScan, out func(val.Row) error) erro
 	// is fetched (or emitted from the key, if covering) as it streams out
 	// of the index.
 	ridSort := n.RidSort && !n.Covering
-	var ridList []storage.RowID
+	ridList := make([]storage.RowID, 0, 256)
 	base := e.p.Layout.Base[n.Tab]
 	width := e.p.Layout.Width
 
@@ -664,8 +664,11 @@ func (e *executor) runMergeJoin(n *plan.MergeJoin, out func(val.Row) error) erro
 	type pairEnt struct {
 		l, r entry
 	}
-	var pairs []pairEnt
-	var lRun, rRun []entry
+	// Duplicate runs are usually short; starting capacity amortizes the
+	// per-key growth across the whole merge.
+	pairs := make([]pairEnt, 0, 64)
+	lRun := make([]entry, 0, 16)
+	rRun := make([]entry, 0, 16)
 	keep := func(side *plan.MergeSide, key val.Row, rid int64) entry {
 		if side.Covering {
 			return entry{rid: rid, key: key.Clone()}

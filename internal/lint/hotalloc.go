@@ -1,0 +1,329 @@
+// The hot-path allocation analyzer: the measure path — everything
+// reachable from a function annotated `// conflint:hotpath` in its doc
+// comment (the Runner workload entry points and the autopilot window
+// loop) — runs once per query per window, so a per-iteration allocation
+// there is a per-query allocation. Within loops of hot-path functions
+// the analyzer flags the four allocation shapes that hide in plain
+// sight:
+//
+//   - a function literal built per iteration (its capture environment is
+//     heap-allocated every pass) — except directly under `go`, where the
+//     allocation is per-goroutine, not per-element;
+//   - fmt.Sprintf, which allocates its result and boxes its arguments;
+//   - string concatenation (`s += x`, `s = s + x`), quadratic in the
+//     loop trip count;
+//   - append to a function-local slice declared with no capacity, which
+//     reallocs its way up instead of a single make([]T, 0, n).
+//
+// Reachability follows the static call graph, including `go` edges (a
+// worker spawned by the hot path is the hot path). Functions the graph
+// cannot see into (interface methods, function values) are not flagged —
+// consistent with the suite's conservative-resolution policy.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const hotpathDirective = "conflint:hotpath"
+
+// HotAlloc returns the hot-path allocation analyzer.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name:  "hotalloc",
+		Doc:   "loops reachable from conflint:hotpath roots must not allocate per iteration (closures, Sprintf, string concat, append without preallocation)",
+		Check: checkHotAlloc,
+	}
+}
+
+func checkHotAlloc(p *Package) []Finding {
+	return p.Mod.interprocFindings(p, "hotalloc", hotAllocModule)
+}
+
+func hotAllocModule(m *Module) []Finding {
+	g := m.Graph()
+	reach := m.hotReachable()
+	var out []Finding
+	for _, key := range g.Keys() {
+		if !reach[key] {
+			continue
+		}
+		node := g.Node(key)
+		if node.Fn == nil || node.Fn.decl.Body == nil {
+			continue
+		}
+		out = append(out, m.hotAllocFn(node.Fn, key)...)
+	}
+	return out
+}
+
+// hotReachable returns every function key reachable from a hotpath root.
+func (m *Module) hotReachable() map[string]bool {
+	g := m.Graph()
+	reach := make(map[string]bool)
+	var queue []string
+	for _, key := range g.Keys() {
+		node := g.Node(key)
+		if node.Fn != nil && hasHotpathDirective(node.Fn.decl) {
+			reach[key] = true
+			queue = append(queue, key)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		node := g.Node(key)
+		if node == nil {
+			continue
+		}
+		for _, cs := range node.Out {
+			if !reach[cs.Callee] {
+				reach[cs.Callee] = true
+				queue = append(queue, cs.Callee)
+			}
+		}
+	}
+	return reach
+}
+
+// hasHotpathDirective reports a conflint:hotpath marker in the doc
+// comment of a function declaration.
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotAllocFn flags per-iteration allocations inside one hot function.
+func (m *Module) hotAllocFn(fd *funcDecl, key string) []Finding {
+	fn, f, p := fd.decl, fd.file, fd.pkg
+	fset := m.Fset
+	short := m.shortKey(key)
+	var out []Finding
+	report := func(pos token.Pos, msg, hint string) {
+		pp := fset.Position(pos)
+		out = append(out, Finding{
+			Rule: "hotalloc", File: pp.Filename, Line: pp.Line, Col: pp.Column,
+			Message: msg, Hint: hint,
+		})
+	}
+
+	goLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				goLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return true
+			}
+			switch s := c.(type) {
+			case *ast.ForStmt:
+				walk(s.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(s.Body, depth+1)
+				return false
+			case *ast.FuncLit:
+				if depth > 0 && !goLits[s] {
+					report(s.Pos(), fmt.Sprintf("hot path %s builds a closure on every loop iteration", short),
+						"hoist the function literal out of the loop (or pass the varying values as arguments)")
+				}
+				// Allocations inside the literal body run when the
+				// literal runs, not per enclosing iteration — and its
+				// own loops are walked via the call graph when the
+				// literal is attributed to this declaration.
+				walk(s.Body, 0)
+				return false
+			case *ast.CallExpr:
+				if depth > 0 && isSprintf(f, s) {
+					report(s.Pos(), fmt.Sprintf("hot path %s calls fmt.Sprintf inside a loop: one allocation per element", short),
+						"format once outside the loop, or use strconv/append-style building")
+				}
+				if depth > 0 {
+					if name, pos, ok := m.bareAppend(p, f, fn, s); ok {
+						report(pos, fmt.Sprintf("hot path %s appends to %s inside a loop, but %s was declared without capacity", short, name, name),
+							fmt.Sprintf("preallocate: %s := make([]T, 0, n) before the loop", name))
+					}
+				}
+			case *ast.AssignStmt:
+				if depth > 0 && isStringConcat(m, p, f, fn, s) {
+					report(s.Pos(), fmt.Sprintf("hot path %s concatenates strings inside a loop: quadratic allocation", short),
+						"use a strings.Builder (or collect parts and strings.Join once)")
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, 0)
+	return out
+}
+
+// isSprintf matches fmt.Sprintf (and Sprint/Sprintln) calls.
+func isSprintf(f *File, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || importPathOf(f, base.Name) != "fmt" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Sprint", "Sprintln":
+		return true
+	}
+	return false
+}
+
+// isStringConcat matches `s += x` and `s = s + x` where s is a string:
+// either its declared type resolves to string, or a string literal
+// appears among the operands (the resolver cannot type every local, so
+// the literal operand is the syntactic tell).
+func isStringConcat(m *Module, p *Package, f *File, fn *ast.FuncDecl, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	concat := false
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		concat = true
+	case token.ASSIGN:
+		if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+			if exprString(m.Fset, bin.X) == exprString(m.Fset, as.Lhs[0]) {
+				concat = true
+			}
+		}
+	}
+	if !concat {
+		return false
+	}
+	if id, ok := m.Underlying(m.TypeOf(p, f, fn, as.Lhs[0])).Expr.(*ast.Ident); ok && id.Name == "string" {
+		return true
+	}
+	return hasStringLit(as.Rhs[0])
+}
+
+func hasStringLit(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bareAppend matches `x = append(x, ...)` where x is a slice declared in
+// this function with no capacity: `var x []T`, `x := []T{}`, or
+// `x := make([]T, 0)`. Slices that arrive as parameters, fields, or
+// preallocated makes are left alone.
+func (m *Module) bareAppend(p *Package, f *File, fn *ast.FuncDecl, call *ast.CallExpr) (name string, pos token.Pos, ok bool) {
+	id, isIdent := call.Fun.(*ast.Ident)
+	if !isIdent || id.Name != "append" || len(call.Args) < 2 {
+		return "", 0, false
+	}
+	target, isIdent := call.Args[0].(*ast.Ident)
+	if !isIdent {
+		return "", 0, false
+	}
+	decl, declared := localSliceDecl(fn.Body, target.Name)
+	if !declared || preallocated(decl) {
+		return "", 0, false
+	}
+	return target.Name, call.Pos(), true
+}
+
+// localSliceDecl finds how a local name is first declared, returning the
+// initializer expression (nil for `var x []T` with no value) and whether
+// a slice-shaped declaration was found at all.
+func localSliceDecl(body *ast.BlockStmt, name string) (init ast.Expr, found bool) {
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ValueSpec:
+			for i, id := range s.Names {
+				if id.Name != name {
+					continue
+				}
+				if _, isSlice := s.Type.(*ast.ArrayType); s.Type != nil && !isSlice {
+					return false
+				}
+				if i < len(s.Values) {
+					init = s.Values[i]
+				}
+				found, done = true, true
+				return false
+			}
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != name || len(s.Rhs) != len(s.Lhs) {
+					continue
+				}
+				switch r := s.Rhs[i].(type) {
+				case *ast.CompositeLit:
+					if _, isSlice := r.Type.(*ast.ArrayType); isSlice {
+						init = r
+						found, done = true, true
+					}
+				case *ast.CallExpr:
+					if fid, ok := r.Fun.(*ast.Ident); ok && fid.Name == "make" && len(r.Args) > 0 {
+						if _, isSlice := r.Args[0].(*ast.ArrayType); isSlice {
+							init = r
+							found, done = true, true
+						}
+					}
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return init, found
+}
+
+// preallocated reports whether a slice initializer reserves capacity:
+// make with an explicit cap, make with a nonzero length, or a composite
+// literal with elements.
+func preallocated(init ast.Expr) bool {
+	switch e := init.(type) {
+	case *ast.CallExpr:
+		if len(e.Args) >= 3 {
+			return true
+		}
+		if len(e.Args) == 2 {
+			if bl, ok := e.Args[1].(*ast.BasicLit); ok && bl.Value == "0" {
+				return false
+			}
+			return true
+		}
+		return false
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0
+	}
+	return false
+}

@@ -46,6 +46,15 @@ type Finding struct {
 	// Hint, when non-empty, is a suggested edit (the -hints mode prints
 	// it under the offending source line).
 	Hint string `json:"hint,omitempty"`
+	// Package and Symbol locate the finding structurally (import path
+	// and enclosing top-level declaration) — the key baselines use, so
+	// a baseline survives reformatting while dying with the code it
+	// described.
+	Package string `json:"package,omitempty"`
+	Symbol  string `json:"symbol,omitempty"`
+	// Witness, for interprocedural findings, is the step-by-step path
+	// that realizes the violation (lockorder cycle edges).
+	Witness []string `json:"witness,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -111,6 +120,10 @@ type Module struct {
 
 	idx     *index      // lazy resolution indexes (resolve.go)
 	atomics *atomicSets // lazy module-wide atomic-field sets (atomiccheck.go)
+	graph   *CallGraph  // lazy module-wide call graph (callgraph.go)
+	// inter caches module-wide analyzer results by rule name, so the
+	// per-package Check calls of interprocedural rules share one run.
+	inter map[string][]Finding
 }
 
 // Analyzer is one conflint rule.
@@ -127,6 +140,9 @@ func All() []*Analyzer {
 		Determinism(),
 		AtomicCheck(),
 		ErrCheck(),
+		LockOrder(),
+		GoLeak(),
+		HotAlloc(),
 	}
 }
 
@@ -334,6 +350,9 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 			}
 		}
 	}
+	for i := range out {
+		out[i].Package, out[i].Symbol = m.symbolAt(out[i].File, out[i].Line)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -345,9 +364,65 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return out
+}
+
+// symbolAt locates a source line structurally: the import path of its
+// package and the top-level declaration enclosing it ("Engine.Run",
+// "dedupe", "Lab" — "" for file-level positions). This is the baseline
+// key, stable under reformatting and unrelated edits.
+func (m *Module) symbolAt(path string, line int) (pkg, symbol string) {
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			if f.Path != path {
+				continue
+			}
+			for _, d := range f.AST.Decls {
+				start := m.Fset.Position(d.Pos()).Line
+				end := m.Fset.Position(d.End()).Line
+				// A declaration's doc comment (where annotations live)
+				// belongs to the declaration.
+				switch dd := d.(type) {
+				case *ast.FuncDecl:
+					if dd.Doc != nil {
+						start = m.Fset.Position(dd.Doc.Pos()).Line
+					}
+				case *ast.GenDecl:
+					if dd.Doc != nil {
+						start = m.Fset.Position(dd.Doc.Pos()).Line
+					}
+				}
+				if line < start || line > end {
+					continue
+				}
+				switch dd := d.(type) {
+				case *ast.FuncDecl:
+					name := dd.Name.Name
+					if dd.Recv != nil && len(dd.Recv.List) > 0 {
+						if rn := baseTypeName(dd.Recv.List[0].Type); rn != "" {
+							name = rn + "." + name
+						}
+					}
+					return p.ImportPath, name
+				case *ast.GenDecl:
+					for _, spec := range dd.Specs {
+						if ts, ok := spec.(*ast.TypeSpec); ok &&
+							m.Fset.Position(ts.Pos()).Line <= line && line <= m.Fset.Position(ts.End()).Line {
+							return p.ImportPath, ts.Name.Name
+						}
+					}
+					return p.ImportPath, ""
+				}
+			}
+			return p.ImportPath, ""
+		}
+	}
+	return "", ""
 }
 
 // ignoreAt reports whether a directive covers the given line (the
@@ -392,6 +467,9 @@ func RenderText(m *Module, fs []Finding, hints bool) string {
 			rel = r
 		}
 		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", rel, f.Line, f.Col, f.Rule, f.Message)
+		for _, w := range f.Witness {
+			fmt.Fprintf(&b, "    %s\n", w)
+		}
 		if hints {
 			if file := m.fileOf(f.File); file != nil {
 				if src := strings.TrimRight(file.SourceLine(f.Line), " \t"); src != "" {

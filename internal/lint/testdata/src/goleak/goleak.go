@@ -1,0 +1,97 @@
+// Fixture for the goroutine-leak analyzer: each escape route (worker
+// annotation, WaitGroup pairing, lifecycle channel, provable
+// termination) next to the leaks it distinguishes itself from.
+package goleakfix
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Leak spawns a goroutine that loops forever with no lifecycle: the
+// canonical leak.
+func Leak() {
+	go func() { // want "goroutine may leak: it loops forever \(for \{\} with no break or return\)"
+		for {
+		}
+	}()
+}
+
+// Worker is a deliberate daemon; the annotation names its lifecycle.
+func Worker() {
+	// conflint:worker fixture daemon, runs until process exit by design
+	go func() {
+		for {
+		}
+	}()
+}
+
+// Pooled is the bounded worker-pool shape: Add before spawn, Done in the
+// body, Wait after. The range over jobs alone would be a leak; the
+// pairing bounds it.
+func Pooled(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				_ = j
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Stopped is tied to a lifecycle: the select's receive on ctx.Done ends
+// the goroutine when the caller cancels.
+func Stopped(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// NoDone waits on a WaitGroup but the spawned body never calls Done: the
+// pairing does not hold, and the range never ends.
+func NoDone(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine may leak: it ranges over channel jobs, which never ends unless the channel is closed"
+		for j := range jobs {
+			_ = j
+		}
+	}()
+	wg.Wait()
+}
+
+// Bounded provably terminates: a plain range over a slice.
+func Bounded(xs []int) {
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		_ = s
+	}()
+}
+
+// Serve leaks through a call edge: serveLoop blocks in the stdlib's
+// serve loop, so the spawn site needs a lifecycle or an annotation.
+func Serve(srv *http.Server, ln net.Listener) {
+	go serveLoop(srv, ln) // want "goroutine may leak: it blocks in net/http\.Server\.Serve until shutdown"
+}
+
+func serveLoop(srv *http.Server, ln net.Listener) {
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		panic(err)
+	}
+}

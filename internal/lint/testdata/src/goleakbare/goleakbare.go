@@ -1,0 +1,15 @@
+// Fixture for the bare conflint:worker directive: the annotation itself
+// is a finding and suppresses nothing, so the leak is still reported.
+//
+// Excluded from TestFixtures: a want comment on the directive's line
+// would become the directive's reason, so TestBareWorkerDirective pins
+// the line numbers instead (like the ignore fixture).
+package goleakbarefix
+
+func spawn() {
+	// conflint:worker
+	go func() {
+		for {
+		}
+	}()
+}

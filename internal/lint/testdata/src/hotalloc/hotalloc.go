@@ -1,0 +1,56 @@
+// Fixture for the hot-path allocation analyzer: a conflint:hotpath root
+// with each per-iteration allocation pattern, a callee reached through
+// the graph, identical cold code that must stay silent, and the
+// preallocated shapes the rule asks for.
+package hotallocfix
+
+import "fmt"
+
+// Process is the fixture's workload entry point.
+//
+// conflint:hotpath — everything reachable from here is the measure path.
+func Process(items []string) string {
+	var out []string
+	total := ""
+	for i, it := range items {
+		out = append(out, it)            // want "hot path fixture\.Process appends to out inside a loop, but out was declared without capacity"
+		total += it + "-"                // want "hot path fixture\.Process concatenates strings inside a loop: quadratic allocation"
+		_ = fmt.Sprintf("%d", i)         // want "hot path fixture\.Process calls fmt\.Sprintf inside a loop: one allocation per element"
+		f := func() string { return it } // want "hot path fixture\.Process builds a closure on every loop iteration"
+		_ = f
+	}
+	helper(items)
+	_ = out
+	return total
+}
+
+// helper is hot by reachability, not by annotation.
+func helper(items []string) {
+	var acc []string
+	for _, it := range items {
+		acc = append(acc, it) // want "hot path fixture\.helper appends to acc inside a loop, but acc was declared without capacity"
+	}
+	_ = acc
+}
+
+// Cold is identical to helper but unreachable from any hot-path root: no
+// findings.
+func Cold(items []string) {
+	var acc []string
+	for _, it := range items {
+		acc = append(acc, it)
+	}
+	_ = acc
+}
+
+// Pre is on the hot path but allocates correctly: capacity up front, no
+// per-iteration formatting or closures.
+//
+// conflint:hotpath — preallocated variant.
+func Pre(items []string) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}

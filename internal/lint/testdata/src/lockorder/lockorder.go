@@ -1,0 +1,59 @@
+// Fixture for the lock-ordering analyzer: a seeded two-mutex inversion,
+// one leg direct and one leg through a call edge, alongside nesting that
+// follows a single global order and must stay silent.
+package lockorderfix
+
+import "sync"
+
+// S carries two mutexes whose acquisition order the two methods invert.
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB nests directly: a then b.
+func (s *S) AB() {
+	s.a.Lock() // want "potential deadlock: lock-order cycle fixture\.S\.a -> fixture\.S\.b -> fixture\.S\.a"
+	defer s.a.Unlock()
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+// BA inverts through a call edge: it holds b while grab takes a, so the
+// inversion is only visible interprocedurally.
+func (s *S) BA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.grab()
+}
+
+func (s *S) grab() {
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+
+// T nests its mutexes in one consistent order everywhere: no cycle, no
+// finding.
+type T struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+// Both callers agree on outer -> inner.
+func (t *T) One() {
+	t.outer.Lock()
+	defer t.outer.Unlock()
+	t.inner.Lock()
+	defer t.inner.Unlock()
+}
+
+func (t *T) Two() {
+	t.outer.Lock()
+	defer t.outer.Unlock()
+	t.touch()
+}
+
+func (t *T) touch() {
+	t.inner.Lock()
+	defer t.inner.Unlock()
+}

@@ -196,7 +196,7 @@ func (e noTableError) Error() string {
 func (s *search) indexScanCand(t int, info *plan.TableInfo, ix *plan.IndexInfo, sels []sql.SelPred, ins []int) (cand, bool) {
 	rows := float64(info.Stats.Rows)
 	consumed := make(map[int]bool)
-	var eqVals []val.Value
+	eqVals := make([]val.Value, 0, len(ix.Cols))
 	k := 0
 	for _, col := range ix.Cols {
 		found := -1
@@ -280,7 +280,7 @@ func indexHasCol(ix *plan.IndexInfo, col int) bool {
 // inDrivenCands builds candidates that drive the index with the values of
 // an IN-subquery set: one index probe per set value.
 func (s *search) inDrivenCands(t int, info *plan.TableInfo, ix *plan.IndexInfo, sels []sql.SelPred, ins []int) []cand {
-	var out []cand
+	out := make([]cand, 0, len(ins))
 	for _, ii := range ins {
 		p := s.q.Ins[ii]
 		if p.Col.Col != ix.Cols[0] {
@@ -441,13 +441,14 @@ func (s *search) indexJoinCands(outer cand, outerMask uint32, t2 int, lcols, rco
 	if info == nil {
 		return nil
 	}
-	var out []cand
+	ixs := sortedIndexes(s.phys.IndexesOn(info.Table.Name))
+	out := make([]cand, 0, len(ixs))
 	sels := s.sels[t2]
 	ins := s.ins[t2]
-	for _, ix := range sortedIndexes(s.phys.IndexesOn(info.Table.Name)) {
+	for _, ix := range ixs {
 		consumedSel := make(map[int]bool)
 		consumedJoin := make(map[int]bool)
-		var binds []plan.KeyBind
+		binds := make([]plan.KeyBind, 0, len(ix.Cols))
 		joinBinds := 0
 		for _, col := range ix.Cols {
 			bound := false

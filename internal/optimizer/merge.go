@@ -27,8 +27,9 @@ func (s *search) mergeJoinCands(t1, t2 int, lc, rc sql.QCol) []cand {
 		return nil
 	}
 
-	var out []cand
-	for _, ix1 := range sortedIndexes(s.phys.IndexesOn(info1.Table.Name)) {
+	ixs1 := sortedIndexes(s.phys.IndexesOn(info1.Table.Name))
+	out := make([]cand, 0, len(ixs1))
+	for _, ix1 := range ixs1 {
 		if ix1.Cols[0] != lc.Col {
 			continue
 		}

@@ -25,7 +25,7 @@ type viewCand struct {
 //   - every query-needed column of the covered tables is present in the
 //     view's projection.
 func (s *search) viewCandidates() []viewCand {
-	var out []viewCand
+	out := make([]viewCand, 0, len(s.phys.Views))
 	for _, v := range s.phys.Views {
 		if c, ok := s.matchView(v); ok {
 			out = append(out, c)
@@ -132,7 +132,7 @@ func (s *search) matchView(v *plan.ViewInfo) (viewCand, bool) {
 		viewCol int
 		pred    sql.SelPred
 	}
-	var selBinds []selBind
+	selBinds := make([]selBind, 0, len(s.q.Sels))
 	for qi := range s.q.Tables {
 		if mask&(1<<uint(qi)) == 0 {
 			continue
@@ -170,7 +170,7 @@ func (s *search) matchView(v *plan.ViewInfo) (viewCand, bool) {
 	// prefixes.
 	for _, ix := range sortedIndexes(s.phys.IndexesOn(v.Def.Name)) {
 		clone := *node
-		var eqVals []plan.Filter
+		eqVals := make([]plan.Filter, 0, len(ix.Cols))
 		k := 0
 		consumed := make(map[int]bool)
 		for _, col := range ix.Cols {

@@ -3,6 +3,7 @@ package recommender
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/conf"
@@ -130,10 +131,10 @@ func (r *Recommender) viewCandidates(q *sql.Query, sets []colSets) []*candidate 
 		namesSeen[n] = true
 	}
 
-	var out []*candidate
+	out := make([]*candidate, 0, len(q.Tables)*len(q.Tables))
 	for ti := range q.Tables {
 		for tj := ti + 1; tj < len(q.Tables); tj++ {
-			var joins []sql.JoinPred
+			joins := make([]sql.JoinPred, 0, len(q.Joins))
 			for _, j := range q.Joins {
 				if (j.L.Tab == ti && j.R.Tab == tj) || (j.L.Tab == tj && j.R.Tab == ti) {
 					joins = append(joins, j)
@@ -145,16 +146,11 @@ func (r *Recommender) viewCandidates(q *sql.Query, sets []colSets) []*candidate 
 			nameA := q.Tables[ti].Table.Name
 			nameB := q.Tables[tj].Table.Name
 
-			// Needed columns of each side, in deterministic order.
-			needed := func(t int) []string {
-				cs := sets[t]
-				return concatUnique(cs.eq, cs.rng, cs.join, cs.in, cs.group, cs.agg)
-			}
-			colsA, colsB := needed(ti), needed(tj)
+			colsA, colsB := neededCols(sets, ti), neededCols(sets, tj)
 			if len(colsA)+len(colsB) == 0 {
 				continue
 			}
-			var proj []string
+			proj := make([]string, 0, len(colsA)+len(colsB))
 			viewColOf := make(map[string]int) // "alias.col" -> view ordinal
 			for _, c := range colsA {
 				viewColOf["a."+strings.ToLower(c)] = len(proj)
@@ -164,33 +160,32 @@ func (r *Recommender) viewCandidates(q *sql.Query, sets []colSets) []*candidate 
 				viewColOf["b."+strings.ToLower(c)] = len(proj)
 				proj = append(proj, "b."+c)
 			}
-			var preds []string
+			preds := make([]string, 0, len(joins))
 			for _, j := range joins {
 				l, rr := j.L, j.R
 				if l.Tab != ti {
 					l, rr = rr, l
 				}
-				preds = append(preds, fmt.Sprintf("a.%s = b.%s",
-					q.Tables[ti].Table.Columns[l.Col].Name,
-					q.Tables[tj].Table.Columns[rr.Col].Name))
+				preds = append(preds, "a."+q.Tables[ti].Table.Columns[l.Col].Name+
+					" = b."+q.Tables[tj].Table.Columns[rr.Col].Name)
 			}
 			vname := viewName(nameA, nameB, preds)
 			vd := conf.ViewDef{
 				Name: vname,
-				SQL: fmt.Sprintf("SELECT %s FROM %s a, %s b WHERE %s",
-					strings.Join(proj, ", "), nameA, nameB, strings.Join(preds, " AND ")),
+				SQL: "SELECT " + strings.Join(proj, ", ") + " FROM " + nameA + " a, " +
+					nameB + " b WHERE " + strings.Join(preds, " AND "),
 				BaseTables: []string{nameA, nameB},
 			}
 			out = append(out, &candidate{key: "view:" + vname, views: []conf.ViewDef{vd}})
 
 			// Indexed variant: keys are the selection columns of either
 			// side (view columns are named c0..cN by projection position).
-			var keyCols []string
+			keyCols := make([]string, 0, len(sets[ti].eq)+len(sets[tj].eq))
 			for _, c := range sets[ti].eq {
-				keyCols = append(keyCols, fmt.Sprintf("c%d", viewColOf["a."+strings.ToLower(c)]))
+				keyCols = append(keyCols, "c"+strconv.Itoa(viewColOf["a."+strings.ToLower(c)]))
 			}
 			for _, c := range sets[tj].eq {
-				keyCols = append(keyCols, fmt.Sprintf("c%d", viewColOf["b."+strings.ToLower(c)]))
+				keyCols = append(keyCols, "c"+strconv.Itoa(viewColOf["b."+strings.ToLower(c)]))
 			}
 			if len(keyCols) > 0 && len(keyCols) <= r.cfg.MaxWidth {
 				d := conf.IndexDef{Table: vname, Columns: keyCols}
@@ -203,6 +198,14 @@ func (r *Recommender) viewCandidates(q *sql.Query, sets []colSets) []*candidate 
 		}
 	}
 	return out
+}
+
+// neededCols lists one side's query-needed columns in deterministic
+// order (hoisted out of the pair loop: a closure there would allocate
+// its environment once per table pair on the recommendation path).
+func neededCols(sets []colSets, t int) []string {
+	cs := sets[t]
+	return concatUnique(cs.eq, cs.rng, cs.join, cs.in, cs.group, cs.agg)
 }
 
 // viewName derives a deterministic, compact view name.
@@ -225,8 +228,12 @@ func viewName(a, b string, preds []string) string {
 
 // concatUnique appends the lists, dropping case-insensitive duplicates.
 func concatUnique(lists ...[]string) []string {
-	var out []string
-	seen := make(map[string]bool)
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
 	for _, l := range lists {
 		for _, c := range l {
 			k := strings.ToLower(c)
@@ -252,7 +259,7 @@ func permutations(cols []string, maxLen int) [][]string {
 	cols = append([]string(nil), cols...)
 	sort.Strings(cols)
 	var out [][]string
-	var cur []string
+	cur := make([]string, 0, maxLen)
 	used := make([]bool, len(cols))
 	var rec func()
 	rec = func() {

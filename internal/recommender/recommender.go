@@ -100,6 +100,26 @@ type candidate struct {
 	soloGain float64
 }
 
+// scoredCand pairs a candidate with its single-query gain. byGainDesc
+// sorts best-gain-first (ties by key for determinism); a named
+// sort.Interface keeps the per-query ranking loop closure-free on the
+// recommendation path.
+type scoredCand struct {
+	c    *candidate
+	gain float64
+}
+
+type byGainDesc []scoredCand
+
+func (s byGainDesc) Len() int      { return len(s) }
+func (s byGainDesc) Swap(a, b int) { s[a], s[b] = s[b], s[a] }
+func (s byGainDesc) Less(a, b int) bool {
+	if s[a].gain != s[b].gain {
+		return s[a].gain > s[b].gain
+	}
+	return s[a].c.key < s[b].c.key
+}
+
 func (c *candidate) applyTo(cfg conf.Configuration) conf.Configuration {
 	out := cfg.Clone()
 	for _, v := range c.views {
@@ -200,26 +220,17 @@ func (r *Recommender) Recommend(queries []string, budget int64) (conf.Configurat
 	// Solo evaluation: keep the best TopPerQuery candidates per query.
 	pool := make(map[string]*candidate)
 	for i, q := range qs {
-		type scored struct {
-			c    *candidate
-			gain float64
-		}
-		var ss []scored
+		ss := make([]scoredCand, 0, len(perQuery[i]))
 		for _, c := range perQuery[i] {
 			m, err := w.Estimate(q, c.applyTo(base))
 			if err != nil {
 				return conf.Configuration{}, err
 			}
 			if g := baseCost[i] - m.Seconds; g > 0 {
-				ss = append(ss, scored{c, g})
+				ss = append(ss, scoredCand{c, g})
 			}
 		}
-		sort.Slice(ss, func(a, b int) bool {
-			if ss[a].gain != ss[b].gain {
-				return ss[a].gain > ss[b].gain
-			}
-			return ss[a].c.key < ss[b].c.key
-		})
+		sort.Sort(byGainDesc(ss))
 		if len(ss) > r.cfg.TopPerQuery {
 			ss = ss[:r.cfg.TopPerQuery]
 		}
@@ -235,7 +246,7 @@ func (r *Recommender) Recommend(queries []string, budget int64) (conf.Configurat
 	}
 
 	// Estimate candidate sizes.
-	var cands []*candidate
+	cands := make([]*candidate, 0, len(pool))
 	for _, c := range pool {
 		delta := conf.Configuration{Indexes: c.indexes, Views: c.views}
 		c.size = w.EstimateSize(delta)

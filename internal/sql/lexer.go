@@ -64,7 +64,7 @@ func (l *lexer) errf(pos int, format string, args ...interface{}) error {
 
 // lex tokenizes the whole input.
 func (l *lexer) lex() ([]token, error) {
-	var toks []token
+	toks := make([]token, 0, len(l.src)/4+8)
 	for {
 		l.skipSpace()
 		if l.pos >= len(l.src) {

@@ -445,7 +445,7 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 		if err := p.expectSymbol("("); err != nil {
 			return nil, err
 		}
-		var row []val.Value
+		row := make([]val.Value, 0, 8)
 		for {
 			t := p.cur()
 			switch t.kind {

@@ -31,6 +31,27 @@ type ValueCount struct {
 	Count int64
 }
 
+// byValue and byCountDesc are named sort orders for ValueCounts. The
+// per-column loop in Collect sorts once per column; named sort.Interface
+// implementations keep it free of per-iteration comparator closures.
+type byValue []ValueCount
+
+func (s byValue) Len() int           { return len(s) }
+func (s byValue) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
+func (s byValue) Less(a, b int) bool { return val.Compare(s[a].Value, s[b].Value) < 0 }
+
+// byCountDesc ranks most-frequent first, ties by value order.
+type byCountDesc []ValueCount
+
+func (s byCountDesc) Len() int      { return len(s) }
+func (s byCountDesc) Swap(a, b int) { s[a], s[b] = s[b], s[a] }
+func (s byCountDesc) Less(a, b int) bool {
+	if s[a].Count != s[b].Count {
+		return s[a].Count > s[b].Count
+	}
+	return val.Compare(s[a].Value, s[b].Value) < 0
+}
+
 // Bucket is one equi-depth histogram bucket: values v with
 // Lo < v <= Hi (the first bucket includes Lo).
 type Bucket struct {
@@ -97,19 +118,14 @@ func Collect(h *storage.Heap) *TableStats {
 			continue
 		}
 		// Min/Max and histogram need value order.
-		sort.Slice(vcs, func(a, b int) bool { return val.Compare(vcs[a].Value, vcs[b].Value) < 0 })
+		sort.Sort(byValue(vcs))
 		cs.Min = vcs[0].Value
 		cs.Max = vcs[len(vcs)-1].Value
 		cs.Hist = buildEquiDepth(vcs)
 
 		// MCV: top-maxMCV by frequency.
 		byFreq := append([]ValueCount(nil), vcs...)
-		sort.Slice(byFreq, func(a, b int) bool {
-			if byFreq[a].Count != byFreq[b].Count {
-				return byFreq[a].Count > byFreq[b].Count
-			}
-			return val.Compare(byFreq[a].Value, byFreq[b].Value) < 0
-		})
+		sort.Sort(byCountDesc(byFreq))
 		n := maxMCV
 		if n > len(byFreq) {
 			n = len(byFreq)
@@ -133,7 +149,7 @@ func buildEquiDepth(sorted []ValueCount) []Bucket {
 	if target < 1 {
 		target = 1
 	}
-	var out []Bucket
+	out := make([]Bucket, 0, histBuckets)
 	cur := Bucket{Lo: sorted[0].Value}
 	for _, vc := range sorted {
 		cur.Count += vc.Count
