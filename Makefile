@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke verify
+.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke whatif-smoke verify
 
 build:
 	$(GO) build ./...
@@ -50,4 +50,10 @@ autopilot-smoke:
 	$(GO) run ./cmd/autopilotd -windows 3 -drift -drift-at 1 \
 		-addr 127.0.0.1:0 -bench-json BENCH_autopilot.json
 
-verify: build test race vet fmtcheck lint autopilot-smoke
+# The what-if fast path held to its perf record: the Table 2 / Figure 5
+# recommender searches run cache-off then cache-on, recommendations must
+# be byte-identical, and the speedups land in BENCH_whatif.json.
+whatif-smoke:
+	$(GO) run ./cmd/whatifbench -o BENCH_whatif.json
+
+verify: build test race vet fmtcheck lint autopilot-smoke whatif-smoke

@@ -1,0 +1,241 @@
+// Command whatifbench measures the what-if fast path. It runs the
+// recommender searches behind the paper's Table 2 / Figure 5 artifacts
+// twice — estimate cache off, then on — and reports estimates/sec, the
+// cache hit rate and the wall-clock speedup per search, verifying that
+// both runs recommend byte-identical configurations.
+//
+// Usage:
+//
+//	whatifbench [-scale f] [-seed n] [-size n] [-parallel n] [-reps n] [-o file]
+//
+// Each search runs -reps times per mode and keeps the fastest wall
+// (standard best-of-N to shed scheduler and GC noise); recommendation
+// identity is checked on every rep. The JSON artifact (BENCH_whatif.json
+// in CI) is the perf record the fast path is held to: speedup_total is
+// the aggregate improvement across all searches, speedup_min the worst
+// single search's.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/conf"
+	"repro/internal/engine"
+)
+
+// searchCase is one recommender search: a system profile on a family
+// workload. System A on NREF3J is excluded — it capitulates before
+// estimating anything (paper §4.1.2).
+type searchCase struct {
+	System string `json:"system"`
+	Family string `json:"family"`
+}
+
+var cases = []searchCase{
+	{"A", "NREF2J"},
+	{"B", "NREF2J"},
+	{"B", "NREF3J"},
+	{"C", "SkTH3J"},
+	{"C", "UnTH3J"},
+}
+
+// phaseResult is one timed search run.
+type phaseResult struct {
+	WallMS    float64 `json:"wall_ms"`
+	Estimates int64   `json:"estimates"`
+	Hits      int64   `json:"hits"`
+	HitRate   float64 `json:"hit_rate"`
+	EstPerSec float64 `json:"est_per_sec"`
+}
+
+// caseResult pairs the two runs of one search.
+type caseResult struct {
+	searchCase
+	Uncached  phaseResult `json:"uncached"`
+	Cached    phaseResult `json:"cached"`
+	Speedup   float64     `json:"speedup"`
+	Identical bool        `json:"identical"`
+	Err       string      `json:"err,omitempty"`
+}
+
+type report struct {
+	Scale        float64      `json:"scale"`
+	Seed         int64        `json:"seed"`
+	Size         int          `json:"size"`
+	Parallelism  int          `json:"parallelism"`
+	Reps         int          `json:"reps"`
+	Cases        []caseResult `json:"cases"`
+	SpeedupMin   float64      `json:"speedup_min"`
+	SpeedupMean  float64      `json:"speedup_mean"`
+	SpeedupTotal float64      `json:"speedup_total"`
+	HitRate      float64      `json:"hit_rate"`
+	Identical    bool         `json:"identical"`
+}
+
+// runSearch times one recommender search on the lab, with the process
+// what-if counters bracketing exactly the search. Engine load, stats,
+// sampling and budget estimation happen before the clock starts. The
+// search runs reps times (each from a fresh what-if session) and the
+// fastest wall is kept; the recommendation must not vary across reps.
+func runSearch(l *bench.Lab, sys, fam string, reps int) (conf.Configuration, phaseResult, error) {
+	db, err := bench.DBOfFamily(fam)
+	if err != nil {
+		return conf.Configuration{}, phaseResult{}, err
+	}
+	l.Workload(sys, fam)
+	l.Engine(sys, db)
+	l.Budget(sys, db)
+
+	var best phaseResult
+	var cfg conf.Configuration
+	var recErr error
+	for i := 0; i < reps; i++ {
+		l.DropRecommendation(sys, fam)
+		engine.ResetWhatIfCounters()
+		start := time.Now()
+		c, e := l.Recommendation(sys, fam)
+		wall := time.Since(start)
+		calls, hits := engine.WhatIfCounters()
+
+		if i == 0 {
+			cfg, recErr = c, e
+		} else if !reflect.DeepEqual(c, cfg) || fmt.Sprint(e) != fmt.Sprint(recErr) {
+			return cfg, best, fmt.Errorf("%s/%s: rep %d recommendation differs from rep 0", sys, fam, i)
+		}
+		p := phaseResult{
+			WallMS:    float64(wall.Microseconds()) / 1000,
+			Estimates: calls,
+			Hits:      hits,
+		}
+		if calls > 0 {
+			p.HitRate = float64(hits) / float64(calls)
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			p.EstPerSec = float64(calls) / secs
+		}
+		if i == 0 || p.WallMS < best.WallMS {
+			best = p
+		}
+	}
+	return cfg, best, recErr
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.0005, "data scale factor relative to the paper's databases")
+	seed := flag.Int64("seed", 42, "generator seed")
+	size := flag.Int("size", 100, "queries per workload sample")
+	parallel := flag.Int("parallel", 0, "candidate-evaluation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	reps := flag.Int("reps", 3, "repetitions per search; the fastest wall is reported")
+	outFile := flag.String("o", "BENCH_whatif.json", "write the JSON perf record to this file (empty = stdout only)")
+	flag.Parse()
+
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "whatifbench: -scale must be positive, got %g\n", *scale)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *size <= 0 {
+		fmt.Fprintf(os.Stderr, "whatifbench: -size must be positive, got %d\n", *size)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "whatifbench: -parallel must be >= 0, got %d\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *reps <= 0 {
+		fmt.Fprintf(os.Stderr, "whatifbench: -reps must be positive, got %d\n", *reps)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	newLab := func(disableCache bool) *bench.Lab {
+		l := bench.NewLab(*scale, *seed)
+		l.WorkloadSize = *size
+		l.Parallelism = *parallel
+		l.DisableWhatIfCache = disableCache
+		return l
+	}
+	// One lab per mode; engines load once per (system, database) cell and
+	// are shared by that mode's searches.
+	off := newLab(true)
+	on := newLab(false)
+
+	rep := report{Scale: *scale, Seed: *seed, Size: *size, Parallelism: *parallel, Reps: *reps, Identical: true}
+	var speedupSum float64
+	var wallOffSum, wallOnSum float64
+	var totalCalls, totalHits int64
+	fmt.Printf("%-3s %-8s %12s %12s %8s %9s %6s\n",
+		"sys", "family", "uncached ms", "cached ms", "speedup", "hit rate", "same")
+	for _, c := range cases {
+		cfgOff, pOff, errOff := runSearch(off, c.System, c.Family, *reps)
+		cfgOn, pOn, errOn := runSearch(on, c.System, c.Family, *reps)
+
+		r := caseResult{searchCase: c, Uncached: pOff, Cached: pOn}
+		switch {
+		case errOff != nil || errOn != nil:
+			// Both modes must fail identically (System A's capitulation is
+			// part of the reproduced behavior, not a perf case).
+			r.Identical = fmt.Sprint(errOff) == fmt.Sprint(errOn)
+			r.Err = fmt.Sprint(errOff)
+		default:
+			r.Identical = reflect.DeepEqual(cfgOff, cfgOn)
+			if pOn.WallMS > 0 {
+				r.Speedup = pOff.WallMS / pOn.WallMS
+			}
+			if rep.SpeedupMin == 0 || r.Speedup < rep.SpeedupMin {
+				rep.SpeedupMin = r.Speedup
+			}
+			speedupSum += r.Speedup
+			wallOffSum += pOff.WallMS
+			wallOnSum += pOn.WallMS
+			totalCalls += pOn.Estimates
+			totalHits += pOn.Hits
+		}
+		rep.Identical = rep.Identical && r.Identical
+		rep.Cases = append(rep.Cases, r)
+		fmt.Printf("%-3s %-8s %12.1f %12.1f %7.1fx %8.1f%% %6v\n",
+			c.System, c.Family, pOff.WallMS, pOn.WallMS, r.Speedup, 100*pOn.HitRate, r.Identical)
+	}
+	n := 0
+	for _, r := range rep.Cases {
+		if r.Err == "" {
+			n++
+		}
+	}
+	if n > 0 {
+		rep.SpeedupMean = speedupSum / float64(n)
+	}
+	if totalCalls > 0 {
+		rep.HitRate = float64(totalHits) / float64(totalCalls)
+	}
+	if wallOnSum > 0 {
+		rep.SpeedupTotal = wallOffSum / wallOnSum
+	}
+	fmt.Printf("\nspeedup total %.2fx (min %.2fx mean %.2fx), cached hit rate %.1f%%, recommendations identical: %v\n",
+		rep.SpeedupTotal, rep.SpeedupMin, rep.SpeedupMean, 100*rep.HitRate, rep.Identical)
+
+	if *outFile != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whatifbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "whatifbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("whatifbench: wrote", *outFile)
+	}
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "whatifbench: cached and uncached recommendations differ")
+		os.Exit(1)
+	}
+}

@@ -86,6 +86,11 @@ type Options struct {
 	// Static freezes the configuration after warmup: the decaying
 	// baseline the drift experiment compares against.
 	Static bool
+
+	// NoWhatIfCache disables the engine's what-if estimate cache (the
+	// -whatif-cache=off escape hatch). Reports are byte-identical either
+	// way; only retune wall time changes.
+	NoWhatIfCache bool
 }
 
 func (o *Options) setDefaults() {
@@ -175,6 +180,7 @@ func New(opts Options) (*Autopilot, error) {
 	lab := bench.NewLab(opts.Scale, opts.Seed)
 	lab.WorkloadSize = opts.PoolSize
 	lab.Parallelism = opts.Parallelism
+	lab.DisableWhatIfCache = opts.NoWhatIfCache
 
 	famOrder := make([]string, len(opts.Families))
 	pools := make([]workload.Family, len(opts.Families))
@@ -233,6 +239,7 @@ func New(opts Options) (*Autopilot, error) {
 		recCfg:    recCfg,
 		timeout:   opts.Timeout,
 		threshold: opts.MixShiftThreshold,
+		whatif:    eng.NewWhatIf(),
 		metrics:   metrics,
 	}
 	return a, nil

@@ -61,6 +61,13 @@ type controller struct {
 	tunedThisMix bool
 	epoch        int
 
+	// whatif is the controller's long-lived estimation session. The
+	// recommender search and the post-search prediction share its
+	// relevance-keyed cache; the session invalidates itself when a
+	// Transition moves the engine's configuration epoch, so it stays
+	// correct across retunes.
+	whatif *engine.WhatIf
+
 	metrics *Metrics
 }
 
@@ -151,7 +158,10 @@ func (c *controller) retune(job *retuneJob, sqls []string) {
 		cfg = engine.OneColumnConfiguration(c.eng)
 	} else {
 		var err error
-		cfg, err = recommender.New(c.eng, c.recCfg).Recommend(dedupe(sqls), c.budget)
+		cfg, err = recommender.New(c.eng, c.recCfg).
+			Parallel(c.runner.Parallelism).
+			UseSession(c.whatif).
+			Recommend(dedupe(sqls), c.budget)
 		if err != nil {
 			rec.Err = err.Error()
 			return
@@ -161,7 +171,9 @@ func (c *controller) retune(job *retuneJob, sqls []string) {
 
 	// Predict before applying: what-if mean for the triggering window's
 	// queries under the candidate, seen from the current configuration.
-	hyp, err := c.runner.WhatIfWorkload(c.eng, sqls, cfg)
+	// The prediction reuses the search's session, so the winning
+	// configuration's estimates are usually already cached.
+	hyp, err := c.runner.WhatIfSessionWorkload(c.whatif, sqls, cfg)
 	if err != nil {
 		rec.Err = err.Error()
 		return

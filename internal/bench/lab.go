@@ -42,8 +42,14 @@ type Lab struct {
 
 	// Parallelism bounds the per-workload query fan-out: 0 means
 	// GOMAXPROCS, 1 runs queries sequentially. Results are identical
-	// either way (the simulated clock is per-query).
+	// either way (the simulated clock is per-query). Recommendation
+	// searches fan out with the same bound.
 	Parallelism int
+
+	// DisableWhatIfCache turns off the what-if estimate cache on every
+	// engine the lab loads (the -whatif-cache=off escape hatch). Set it
+	// before the first workload runs.
+	DisableWhatIfCache bool
 
 	mu        sync.Mutex
 	engMu     map[string]*sync.Mutex        // conflint:guardedby mu (per (system, database) cell)
@@ -159,6 +165,7 @@ func (l *Lab) engine(sys, db string) *engine.Engine {
 	default:
 		panic("bench: unknown database " + db)
 	}
+	e.DisableWhatIfCache = l.DisableWhatIfCache
 	e.CollectStats()
 	rep, err := e.ApplyConfig(engine.PConfiguration(e))
 	must(err)
@@ -275,7 +282,7 @@ func (l *Lab) Recommendation(sys, family string) (conf.Configuration, error) {
 	}
 	l.mu.Unlock()
 	l.apply(sys, db, "P", conf.Configuration{})
-	r := recommender.New(e, recConfigOf(sys))
+	r := recommender.New(e, recConfigOf(sys)).Parallel(l.Parallelism)
 	cfg, err := r.Recommend(fam.SQLs(), budget)
 	if err == nil {
 		cfg.Name = fmt.Sprintf("%s %s R", sys, family)
@@ -284,6 +291,14 @@ func (l *Lab) Recommendation(sys, family string) (conf.Configuration, error) {
 	l.recs[key] = recResult{cfg, err}
 	l.mu.Unlock()
 	return cfg, err
+}
+
+// DropRecommendation forgets a memoized Recommendation result so the
+// same search can be re-run (whatifbench times best-of-N repetitions).
+func (l *Lab) DropRecommendation(sys, family string) {
+	l.mu.Lock()
+	delete(l.recs, sys+":"+family)
+	l.mu.Unlock()
 }
 
 // Config materializes one of the named configurations for an engine.

@@ -42,10 +42,14 @@ func (r Runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// each runs fn(i) for i in [0, n) on the pool. Every index is processed
+// Each runs fn(i) for i in [0, n) on the pool. Every index is processed
 // exactly once; on error the lowest-index error is returned, so the
-// reported failure is the one the sequential path would hit first.
-func (r Runner) each(n int, fn func(i int) error) error {
+// reported failure is the one the sequential path would hit first. This
+// is the primitive the recommender's candidate-evaluation loops fan out
+// through: callers write results into index i of a pre-sized slice and
+// reduce sequentially afterwards, which keeps the outcome byte-identical
+// at any parallelism.
+func (r Runner) Each(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -94,7 +98,7 @@ func (r Runner) each(n int, fn func(i int) error) error {
 // from here is the measure path.
 func (r Runner) RunWorkload(e *engine.Engine, queries []string, timeout float64) ([]Measure, error) {
 	out := make([]Measure, len(queries))
-	err := r.each(len(queries), func(i int) error {
+	err := r.Each(len(queries), func(i int) error {
 		_, m, err := e.Run(queries[i], timeout)
 		if err != nil {
 			return fmt.Errorf("core: running %q: %w", queries[i], err)
@@ -118,7 +122,7 @@ func (r Runner) RunWorkload(e *engine.Engine, queries []string, timeout float64)
 // measured pass.
 func (r Runner) EstimateWorkload(e *engine.Engine, queries []string) ([]Measure, error) {
 	out := make([]Measure, len(queries))
-	err := r.each(len(queries), func(i int) error {
+	err := r.Each(len(queries), func(i int) error {
 		m, err := e.Estimate(queries[i])
 		if err != nil {
 			return fmt.Errorf("core: estimating %q: %w", queries[i], err)
@@ -141,9 +145,20 @@ func (r Runner) EstimateWorkload(e *engine.Engine, queries []string) ([]Measure,
 // conflint:hotpath — the controller predicts over every window's
 // queries through this path.
 func (r Runner) WhatIfWorkload(e *engine.Engine, queries []string, hypo conf.Configuration) ([]Measure, error) {
-	w := e.NewWhatIf()
+	return r.WhatIfSessionWorkload(e.NewWhatIf(), queries, hypo)
+}
+
+// WhatIfSessionWorkload is WhatIfWorkload against a caller-owned session:
+// the controller keeps one session alive across retunes so the estimate
+// cache filled by the recommender search is still warm when the
+// controller predicts the winning configuration's cost. The session's
+// engine must be the one the queries are analyzed against.
+//
+// conflint:hotpath — shares the prediction path with WhatIfWorkload.
+func (r Runner) WhatIfSessionWorkload(w *engine.WhatIf, queries []string, hypo conf.Configuration) ([]Measure, error) {
+	e := w.Engine()
 	out := make([]Measure, len(queries))
-	err := r.each(len(queries), func(i int) error {
+	err := r.Each(len(queries), func(i int) error {
 		q, err := e.AnalyzeSQL(queries[i])
 		if err != nil {
 			return fmt.Errorf("core: analyzing %q: %w", queries[i], err)

@@ -26,7 +26,7 @@ func TestRunnerEachCoversAllIndexes(t *testing.T) {
 	for _, par := range []int{1, 2, 7, 64} {
 		const n = 40
 		var counts [n]int32
-		err := Runner{Parallelism: par}.each(n, func(i int) error {
+		err := Runner{Parallelism: par}.Each(n, func(i int) error {
 			atomic.AddInt32(&counts[i], 1)
 			return nil
 		})
@@ -39,7 +39,7 @@ func TestRunnerEachCoversAllIndexes(t *testing.T) {
 			}
 		}
 	}
-	if err := (Runner{Parallelism: 4}).each(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := (Runner{Parallelism: 4}).Each(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatalf("each(0) = %v", err)
 	}
 }
@@ -49,7 +49,7 @@ func TestRunnerEachCoversAllIndexes(t *testing.T) {
 // hit first.
 func TestRunnerEachLowestIndexError(t *testing.T) {
 	for _, par := range []int{1, 4, 16} {
-		err := Runner{Parallelism: par}.each(50, func(i int) error {
+		err := Runner{Parallelism: par}.Each(50, func(i int) error {
 			if i%2 == 1 {
 				return fmt.Errorf("odd %d", i)
 			}

@@ -87,6 +87,7 @@ func SystemC() Profile {
 func (e *Engine) InsertRows(table string, rows []val.Row) (Measure, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.configEpoch++
 	h := e.Heap(table)
 	if h == nil {
 		return Measure{}, fmt.Errorf("engine: unknown table %s", table)

@@ -61,6 +61,12 @@ type Engine struct {
 	ScaleFactor float64
 	Model       cost.Model
 
+	// DisableWhatIfCache turns off the what-if relevance-keyed estimate
+	// cache for sessions opened after it is set (the -whatif-cache=off
+	// escape hatch). Like Model, it is not lock-guarded: set it right
+	// after construction, before the engine is shared.
+	DisableWhatIfCache bool
+
 	heaps      map[string]*storage.Heap
 	tableOrder []string
 
@@ -77,6 +83,13 @@ type Engine struct {
 	current conf.Configuration           // conflint:guardedby mu
 	indexes map[string][]*plan.IndexInfo // conflint:guardedby mu (keyed by lower-case relation name)
 	views   []*plan.ViewInfo             // conflint:guardedby mu
+
+	// configEpoch counts every change that can move an estimate:
+	// configuration switches, data loads and statistics collection. Open
+	// what-if sessions compare it against the epoch their caches were
+	// derived in and flush on mismatch (invalidation on RUNSTATS and
+	// Transition).
+	configEpoch int64 // conflint:guardedby mu
 }
 
 // New creates an empty engine for the schema at the given data scale
@@ -115,6 +128,7 @@ func (e *Engine) Load(table string, rows []val.Row) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.configEpoch++
 	for _, r := range rows {
 		if _, err := h.Insert(nil, r); err != nil {
 			return err
@@ -129,6 +143,7 @@ func (e *Engine) Load(table string, rows []val.Row) error {
 func (e *Engine) CollectStats() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.configEpoch++
 	for name, h := range e.heaps {
 		ts := stats.Collect(h)
 		e.statsMu.Lock()
@@ -209,6 +224,7 @@ type BuildReport struct {
 func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.configEpoch++
 	dropped := len(e.views)
 	for _, list := range e.indexes {
 		dropped += len(list)
@@ -240,6 +256,9 @@ func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 		key := strings.ToLower(d.Table)
 		e.indexes[key] = append(e.indexes[key], ix)
 		extraBytes += ix.Bytes
+	}
+	for _, list := range e.indexes {
+		plan.SortIndexes(list)
 	}
 
 	rep := BuildReport{

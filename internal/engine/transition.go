@@ -18,6 +18,7 @@ import (
 func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.configEpoch++
 	var meter cost.Meter
 	var nBuilt, nKept, nDropped int
 
@@ -105,6 +106,9 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 	}
 	meter.FixedSeq += int64(dropped)
 	nDropped += dropped
+	for _, list := range e.indexes {
+		plan.SortIndexes(list)
+	}
 
 	e.current = target.Clone()
 	for _, v := range e.views {

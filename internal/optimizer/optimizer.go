@@ -19,7 +19,6 @@ package optimizer
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"repro/internal/plan"
@@ -515,11 +514,19 @@ func (s *search) joinPredsBetween(m1, m2 uint32) (left, right []sql.QCol) {
 }
 
 // sortedIndexes returns the indexes of a relation in a deterministic order
-// (so plans are stable across runs).
+// (so plans are stable across runs). The engine and the what-if assembler
+// keep their per-relation lists name-sorted at construction
+// (plan.SortIndexes), so the common case returns the input without the
+// per-call copy the estimate hot path used to pay; an unsorted list
+// (hand-built Physical descriptions in tests) still gets the copy-and-sort
+// fallback.
 func sortedIndexes(ixs []*plan.IndexInfo) []*plan.IndexInfo {
-	out := append([]*plan.IndexInfo(nil), ixs...)
-	sort.Slice(out, func(a, b int) bool {
-		return strings.Compare(out[a].Def.Name(), out[b].Def.Name()) < 0
-	})
-	return out
+	for i := 1; i < len(ixs); i++ {
+		if strings.Compare(ixs[i-1].Def.Name(), ixs[i].Def.Name()) > 0 {
+			out := append([]*plan.IndexInfo(nil), ixs...)
+			plan.SortIndexes(out)
+			return out
+		}
+	}
+	return ixs
 }

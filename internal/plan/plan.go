@@ -11,6 +11,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/btree"
@@ -89,6 +90,17 @@ func (p *Physical) Table(name string) *TableInfo {
 // IndexesOn returns the indexes on the named relation.
 func (p *Physical) IndexesOn(name string) []*IndexInfo {
 	return p.Indexes[strings.ToLower(name)]
+}
+
+// SortIndexes orders an index list by definition name in place. Builders
+// of Physical descriptions (the engine, the what-if assembler) call it
+// once per relation list so that the optimizer's deterministic iteration
+// order is established at construction instead of being re-sorted into a
+// fresh copy on every access.
+func SortIndexes(ixs []*IndexInfo) {
+	sort.Slice(ixs, func(a, b int) bool {
+		return strings.Compare(ixs[a].Def.Name(), ixs[b].Def.Name()) < 0
+	})
 }
 
 // Layout maps (table ordinal, column offset) pairs of a query to offsets

@@ -258,7 +258,9 @@ func truncate(l []string, n int) []string {
 func permutations(cols []string, maxLen int) [][]string {
 	cols = append([]string(nil), cols...)
 	sort.Strings(cols)
-	var out [][]string
+	// The arrangement count is known in closed form; size the result once
+	// instead of growing it through the recursion.
+	out := make([][]string, 0, permCount(len(cols), maxLen))
 	cur := make([]string, 0, maxLen)
 	used := make([]bool, len(cols))
 	var rec func()

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/conf"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sql"
 )
@@ -166,18 +167,48 @@ func (c *candidate) tables() map[string]bool {
 
 // Recommender searches configurations for one engine + profile.
 type Recommender struct {
-	e   *engine.Engine
-	cfg Config
+	e       *engine.Engine
+	cfg     Config
+	run     core.Runner
+	session *engine.WhatIf
 }
 
 // New creates a recommender over the engine (which should be in the P
-// configuration with statistics collected, per §3.2.3).
+// configuration with statistics collected, per §3.2.3). The search runs
+// sequentially unless Parallel raises the fan-out.
 func New(e *engine.Engine, cfg Config) *Recommender {
-	return &Recommender{e: e, cfg: cfg}
+	return &Recommender{e: e, cfg: cfg, run: core.Runner{Parallelism: 1}}
+}
+
+// Parallel sets the candidate-evaluation fan-out (1 = sequential,
+// 0 = GOMAXPROCS) and returns the recommender for chaining. The
+// recommendation is byte-identical at any setting: estimates fan out over
+// index-addressed slices and every selection reduces sequentially.
+func (r *Recommender) Parallel(n int) *Recommender {
+	r.run.Parallelism = n
+	return r
+}
+
+// UseSession makes the search estimate through an existing what-if
+// session instead of opening its own, so a long-lived caller (the
+// autopilot controller) shares one estimate cache across retunes and
+// with its own predictions. The session must belong to the same engine.
+func (r *Recommender) UseSession(w *engine.WhatIf) *Recommender {
+	r.session = w
+	return r
+}
+
+// soloJob is one (query, candidate) pair of the solo-evaluation fan-out.
+type soloJob struct {
+	qi int
+	c  *candidate
 }
 
 // Recommend returns a configuration for the workload within the storage
 // budget (full-scale bytes for structures beyond the base configuration).
+//
+// conflint:hotpath — the whole candidate search runs inside here; every
+// allocation repeats per candidate per round.
 func (r *Recommender) Recommend(queries []string, budget int64) (conf.Configuration, error) {
 	base := r.e.Current().Clone()
 	base.Name = r.cfg.Name + " R"
@@ -205,30 +236,64 @@ func (r *Recommender) Recommend(queries []string, budget int64) (conf.Configurat
 			ErrTooComplex, evals, r.cfg.EvalLimit)
 	}
 
-	w := r.e.NewWhatIf()
-
-	// Baseline cost per query in the starting configuration.
-	baseCost := make([]float64, len(qs))
-	for i, q := range qs {
-		m, err := w.Estimate(q, base)
-		if err != nil {
-			return conf.Configuration{}, err
-		}
-		baseCost[i] = m.Seconds
+	w := r.session
+	if w == nil {
+		w = r.e.NewWhatIf()
 	}
 
-	// Solo evaluation: keep the best TopPerQuery candidates per query.
-	pool := make(map[string]*candidate)
-	for i, q := range qs {
-		ss := make([]scoredCand, 0, len(perQuery[i]))
+	// Baseline cost per query in the starting configuration, fanned over
+	// the pool into an index-addressed slice.
+	baseCost := make([]float64, len(qs))
+	err := r.run.Each(len(qs), func(i int) error {
+		m, err := w.Estimate(qs[i], base)
+		if err != nil {
+			return err
+		}
+		baseCost[i] = m.Seconds
+		return nil
+	})
+	if err != nil {
+		return conf.Configuration{}, err
+	}
+
+	// Solo evaluation: estimate every (query, candidate) pair in parallel
+	// through the delta path, then reduce per query sequentially so the
+	// TopPerQuery ranking is order-independent of the fan-out.
+	nJobs := 0
+	for i := range perQuery {
+		nJobs += len(perQuery[i])
+	}
+	jobs := make([]soloJob, 0, nJobs)
+	for i := range perQuery {
 		for _, c := range perQuery[i] {
-			m, err := w.Estimate(q, c.applyTo(base))
-			if err != nil {
-				return conf.Configuration{}, err
+			jobs = append(jobs, soloJob{qi: i, c: c})
+		}
+	}
+	gains := make([]float64, len(jobs))
+	err = r.run.Each(len(jobs), func(k int) error {
+		j := jobs[k]
+		delta := conf.Configuration{Indexes: j.c.indexes, Views: j.c.views}
+		m, err := w.EstimateWith(qs[j.qi], base, delta)
+		if err != nil {
+			return err
+		}
+		gains[k] = baseCost[j.qi] - m.Seconds
+		return nil
+	})
+	if err != nil {
+		return conf.Configuration{}, err
+	}
+
+	// Sequential reduction: keep the best TopPerQuery candidates per query.
+	pool := make(map[string]*candidate)
+	k := 0
+	for i := range qs {
+		ss := make([]scoredCand, 0, len(perQuery[i]))
+		for range perQuery[i] {
+			if g := gains[k]; g > 0 {
+				ss = append(ss, scoredCand{jobs[k].c, g})
 			}
-			if g := baseCost[i] - m.Seconds; g > 0 {
-				ss = append(ss, scoredCand{c, g})
-			}
+			k++
 		}
 		sort.Sort(byGainDesc(ss))
 		if len(ss) > r.cfg.TopPerQuery {
@@ -245,14 +310,21 @@ func (r *Recommender) Recommend(queries []string, budget int64) (conf.Configurat
 		}
 	}
 
-	// Estimate candidate sizes.
+	// Estimate candidate sizes (key-sorted first so every later stage sees
+	// one deterministic candidate order).
 	cands := make([]*candidate, 0, len(pool))
 	for _, c := range pool {
-		delta := conf.Configuration{Indexes: c.indexes, Views: c.views}
-		c.size = w.EstimateSize(delta)
 		cands = append(cands, c)
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].key < cands[b].key })
+	err = r.run.Each(len(cands), func(i int) error {
+		c := cands[i]
+		c.size = w.EstimateSize(conf.Configuration{Indexes: c.indexes, Views: c.views})
+		return nil
+	})
+	if err != nil {
+		return conf.Configuration{}, err
+	}
 
 	if r.cfg.PerQuery {
 		return r.packBySoloGain(base, cands, budget), nil
@@ -301,9 +373,25 @@ func nonAutoCount(c conf.Configuration) int {
 	return n
 }
 
+// queryCost is one improved query cost found during a greedy trial.
+type queryCost struct {
+	qi      int
+	seconds float64
+}
+
+// roundResult is one candidate's outcome in a greedy round: its total
+// gain over the affected queries and the per-query costs that improved.
+type roundResult struct {
+	gain  float64
+	costs []queryCost
+}
+
 // greedy is the workload-level knapsack: each round adds the candidate
 // with the best total-gain-per-byte, re-estimating affected queries, until
 // no candidate clears the minimum-gain bar or the budget is exhausted.
+// Each round evaluates its feasible candidates in parallel and then
+// selects sequentially in candidate order, so the chosen sequence is
+// byte-identical at any parallelism.
 func (r *Recommender) greedy(w *engine.WhatIf, base conf.Configuration, qs []*sql.Query,
 	baseCost []float64, cands []*candidate, budget int64) (conf.Configuration, error) {
 
@@ -325,13 +413,17 @@ func (r *Recommender) greedy(w *engine.WhatIf, base conf.Configuration, qs []*sq
 		}
 	}
 
+	work := make([]int, 0, len(cands))
+	results := make([]roundResult, len(cands))
 	for round := 0; round < 64; round++ {
 		total := 0.0
 		for _, c := range cost {
 			total += c
 		}
-		bestGain, bestIdx := 0.0, -1
-		bestCosts := map[int]float64{}
+		// The feasibility filter depends on the evolving configuration and
+		// budget, so it runs sequentially; the surviving candidates then
+		// estimate concurrently.
+		work = work[:0]
 		for ci, c := range cands {
 			if c.inConfig(cur) || used+c.size > budget {
 				continue
@@ -339,25 +431,23 @@ func (r *Recommender) greedy(w *engine.WhatIf, base conf.Configuration, qs []*sq
 			if r.cfg.MaxIndexes > 0 && nonAutoCount(cur)+len(c.indexes) > r.cfg.MaxIndexes {
 				continue
 			}
-			trial := c.applyTo(cur)
-			gain := 0.0
-			newCosts := map[int]float64{}
-			for _, qi := range affected[ci] {
-				m, err := w.Estimate(qs[qi], trial)
-				if err != nil {
-					return conf.Configuration{}, err
-				}
-				if m.Seconds < cost[qi] {
-					gain += cost[qi] - m.Seconds
-					newCosts[qi] = m.Seconds
-				}
-			}
-			if gain <= 0 {
+			work = append(work, ci)
+		}
+		if len(work) == 0 {
+			break
+		}
+		if err := r.greedyRound(w, cur, qs, cost, cands, affected, work, results); err != nil {
+			return conf.Configuration{}, err
+		}
+		// Density comparison with deterministic tie-breaks, in candidate
+		// order — exactly the sequential scan's selection.
+		bestGain, bestIdx, bestK := 0.0, -1, -1
+		for k, ci := range work {
+			if results[k].gain <= 0 {
 				continue
 			}
-			// Density comparison with deterministic tie-breaks.
-			if bestIdx < 0 || gain/float64(c.size+1) > bestGain/float64(cands[bestIdx].size+1) {
-				bestGain, bestIdx, bestCosts = gain, ci, newCosts
+			if bestIdx < 0 || results[k].gain/float64(cands[ci].size+1) > bestGain/float64(cands[bestIdx].size+1) {
+				bestGain, bestIdx, bestK = results[k].gain, ci, k
 			}
 		}
 		if bestIdx < 0 || bestGain < r.cfg.MinGainFrac*total {
@@ -365,11 +455,39 @@ func (r *Recommender) greedy(w *engine.WhatIf, base conf.Configuration, qs []*sq
 		}
 		cur = cands[bestIdx].applyTo(cur)
 		used += cands[bestIdx].size
-		for qi, c := range bestCosts {
-			cost[qi] = c
+		for _, qc := range results[bestK].costs {
+			cost[qc.qi] = qc.seconds
 		}
 	}
 	return cur, nil
+}
+
+// greedyRound evaluates one round's feasible candidates (work, indexes
+// into cands) against the current configuration, writing each outcome
+// into results[k]. Trials go through the what-if delta path: the base
+// configuration's structures resolve once in the session and each
+// candidate only contributes its own delta.
+func (r *Recommender) greedyRound(w *engine.WhatIf, cur conf.Configuration, qs []*sql.Query,
+	cost []float64, cands []*candidate, affected [][]int, work []int, results []roundResult) error {
+	return r.run.Each(len(work), func(k int) error {
+		ci := work[k]
+		c := cands[ci]
+		delta := conf.Configuration{Indexes: c.indexes, Views: c.views}
+		gain := 0.0
+		costs := make([]queryCost, 0, len(affected[ci]))
+		for _, qi := range affected[ci] {
+			m, err := w.EstimateWith(qs[qi], cur, delta)
+			if err != nil {
+				return err
+			}
+			if m.Seconds < cost[qi] {
+				gain += cost[qi] - m.Seconds
+				costs = append(costs, queryCost{qi: qi, seconds: m.Seconds})
+			}
+		}
+		results[k] = roundResult{gain: gain, costs: costs}
+		return nil
+	})
 }
 
 // evalUnits sizes the candidate space for one query. Permuting profiles
