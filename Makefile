@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke whatif-smoke verify
+.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke whatif-smoke gateway-smoke verify
 
 build:
 	$(GO) build ./...
@@ -56,4 +56,13 @@ autopilot-smoke:
 whatif-smoke:
 	$(GO) run ./cmd/whatifbench -o BENCH_whatif.json
 
-verify: build test race vet fmtcheck lint autopilot-smoke whatif-smoke
+# Boot the multi-tenant gateway in-process, drive 500 one-query sessions
+# across 3 tenants, and drain. loadgen exits nonzero unless the gateway
+# went ready, admitted queries, saw zero transport errors and shut down
+# cleanly; throughput, p50/p99, rejection rate and per-tenant goal
+# levels land in BENCH_gateway.json.
+gateway-smoke:
+	$(GO) run ./cmd/loadgen -selfhost -scale 0.0001 -tuning \
+		-sessions 500 -queries 1 -workers 24 -o BENCH_gateway.json
+
+verify: build test race vet fmtcheck lint autopilot-smoke whatif-smoke gateway-smoke

@@ -63,34 +63,6 @@ func parseShares(s string) ([]autopilot.FamilyShare, error) {
 	return out, nil
 }
 
-// parseGoal parses "10:0.10,60:0.50,1800:0.90" into a step goal.
-func parseGoal(s string) (core.Goal, error) {
-	g := core.Goal{Name: "custom"}
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		xs, fs, ok := strings.Cut(part, ":")
-		if !ok {
-			return core.Goal{}, fmt.Errorf("goal step %q: want SECONDS:FRACTION", part)
-		}
-		x, err := strconv.ParseFloat(xs, 64)
-		if err != nil {
-			return core.Goal{}, err
-		}
-		f, err := strconv.ParseFloat(fs, 64)
-		if err != nil {
-			return core.Goal{}, err
-		}
-		g.Steps = append(g.Steps, core.GoalStep{X: x, Frac: f})
-	}
-	if len(g.Steps) == 0 {
-		return core.Goal{}, fmt.Errorf("no goal steps in %q", s)
-	}
-	return g, nil
-}
-
 func main() {
 	system := flag.String("system", "B", "engine profile (A, B or C)")
 	rec := flag.String("recommender", "", "tuner profile: A, B, C or 1C (default: -system)")
@@ -177,7 +149,7 @@ func main() {
 		NoWhatIfCache:     *whatifCache == "off",
 	}
 	if *goalSpec != "" {
-		if opts.Goal, err = parseGoal(*goalSpec); err != nil {
+		if opts.Goal, err = core.ParseGoal(*goalSpec); err != nil {
 			usageErr("autopilotd: %v", err)
 		}
 	}
@@ -189,6 +161,18 @@ func main() {
 		opts.Drift = &autopilot.Drift{AtWindow: *driftAt, Shares: to}
 	}
 
+	if err := run(opts, *addr, *compare, *outFile, *benchJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "autopilotd:", err)
+		os.Exit(1)
+	}
+}
+
+// run drives one daemon lifetime with the shutdown ordering contract:
+// the control loop drains first (ap.Run joins any in-flight retune
+// before returning, so no transition is abandoned mid-build), artifacts
+// are written second, and the metrics listener closes last — deferred,
+// so it happens on error paths too.
+func run(opts autopilot.Options, addr string, compare bool, outFile, benchJSON string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -196,53 +180,54 @@ func main() {
 	start := time.Now()
 	ap, err := autopilot.New(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "autopilotd:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("autopilotd: ready in %.1fs\n", time.Since(start).Seconds())
 
-	var srv *http.Server
-	if *addr != "" {
-		ln, err := net.Listen("tcp", *addr)
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "autopilotd:", err)
-			os.Exit(1)
+			return err
 		}
-		srv = &http.Server{Handler: ap.Metrics().Handler()}
-		// conflint:worker metrics server lives for the whole process; srv.Shutdown below stops it
+		srv := &http.Server{Handler: ap.Metrics().Handler()}
+		// conflint:worker metrics server lives for the whole process; the deferred srv.Shutdown below stops it
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "autopilotd: metrics server:", err)
 			}
 		}()
 		fmt.Printf("autopilotd: serving /metrics and /healthz on http://%s\n", ln.Addr())
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shCtx); err != nil {
+				fmt.Fprintln(os.Stderr, "autopilotd: metrics shutdown:", err)
+			}
+		}()
 	}
 
 	runStart := time.Now()
 	reports, retunes, err := ap.Run(ctx)
 	wall := time.Since(runStart).Seconds()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "autopilotd:", err)
-		os.Exit(1)
+		return err
 	}
 
 	table := autopilot.RenderTable(reports, retunes)
 	fmt.Println()
 	fmt.Println(table)
 
-	if *compare {
+	if compare {
 		fmt.Println("autopilotd: running static baseline on the identical stream...")
 		sOpts := opts
 		sOpts.Static = true
 		sap, err := autopilot.New(sOpts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "autopilotd:", err)
-			os.Exit(1)
+			return err
 		}
 		sReports, _, err := sap.Run(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "autopilotd:", err)
-			os.Exit(1)
+			return err
 		}
 		cmp := autopilot.RenderComparison(reports, sReports)
 		fmt.Println()
@@ -255,25 +240,17 @@ func main() {
 		snap.WindowsCompleted, snap.QueriesServed, snap.RetunesApplied,
 		snap.StructuresBuilt, snap.StructuresDropped, wall)
 
-	if *outFile != "" {
-		if err := os.WriteFile(*outFile, []byte(table), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "autopilotd:", err)
-			os.Exit(1)
+	if outFile != "" {
+		if err := os.WriteFile(outFile, []byte(table), 0o644); err != nil {
+			return err
 		}
 	}
-	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, opts, snap, reports, retunes, wall); err != nil {
-			fmt.Fprintln(os.Stderr, "autopilotd:", err)
-			os.Exit(1)
+	if benchJSON != "" {
+		if err := writeBenchJSON(benchJSON, opts, snap, reports, retunes, wall); err != nil {
+			return err
 		}
 	}
-	if srv != nil {
-		shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "autopilotd: metrics shutdown:", err)
-		}
-	}
+	return nil
 }
 
 // writeBenchJSON emits the perf-trajectory record for this run.

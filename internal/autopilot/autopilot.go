@@ -259,10 +259,10 @@ func (a *Autopilot) Metrics() *Metrics { return a.metrics }
 //
 // conflint:hotpath — the window loop: every statement here executes once
 // per window while traffic flows.
-func (a *Autopilot) Run(ctx context.Context) ([]WindowReport, []RetuneRecord, error) {
+func (a *Autopilot) Run(ctx context.Context) (reports []WindowReport, retunes []RetuneRecord, err error) {
 	obs := &observer{goal: a.opts.Goal, timeout: a.opts.Timeout, famOrder: a.famOrder}
-	reports := make([]WindowReport, 0, a.opts.Windows)
-	retunes := make([]RetuneRecord, 0, a.opts.Windows)
+	reports = make([]WindowReport, 0, a.opts.Windows)
+	retunes = make([]RetuneRecord, 0, a.opts.Windows)
 
 	streamPos := 0
 	if a.opts.Warmup {
@@ -280,6 +280,23 @@ func (a *Autopilot) Run(ctx context.Context) ([]WindowReport, []RetuneRecord, er
 	}
 
 	var pending *retuneJob
+	// joinPending drains the in-flight retune, if any. It runs before
+	// every return: a retune goroutine may be mid-Transition, and exiting
+	// while it holds the engine's write lock would drop accepted work on
+	// the floor (the shutdown-ordering contract shared with the gateway).
+	joinPending := func() {
+		if pending == nil {
+			return
+		}
+		<-pending.done
+		retunes = append(retunes, pending.rec)
+		if pending.rec.Err == "" {
+			a.curName = pending.rec.Name
+		}
+		pending = nil
+	}
+	defer joinPending()
+
 	// firstFull tracks the window that will be the first served entirely
 	// by the most recently applied configuration (-1 = none awaited).
 	firstFull := -1
@@ -349,13 +366,6 @@ func (a *Autopilot) Run(ctx context.Context) ([]WindowReport, []RetuneRecord, er
 		reports = append(reports, rep)
 	}
 
-	if pending != nil {
-		<-pending.done
-		retunes = append(retunes, pending.rec)
-		if pending.rec.Err == "" {
-			a.curName = pending.rec.Name
-		}
-	}
 	return reports, retunes, nil
 }
 

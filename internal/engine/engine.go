@@ -508,6 +508,27 @@ func (e *Engine) Run(sqlText string, limitSeconds float64) (*exec.Result, Measur
 	if err != nil {
 		return nil, Measure{}, err
 	}
+	return e.execPlan(p, sqlText, limitSeconds)
+}
+
+// RunAnalyzed executes an already-analyzed query under the current
+// configuration. This is the gateway's serving path: the request pipeline
+// parses and analyzes once for authorization and must not pay the SQL
+// front end a second time per request. The query must have been analyzed
+// against this engine's schema.
+func (e *Engine) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result, Measure, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, err := optimizer.Optimize(e.physical(e.Profile.Opts), q, e.Profile.Opts)
+	if err != nil {
+		return nil, Measure{}, err
+	}
+	return e.execPlan(p, q.SQL(), limitSeconds)
+}
+
+// execPlan runs an optimized plan and folds the execution into a Measure.
+// The caller holds mu.RLock.
+func (e *Engine) execPlan(p *plan.Plan, sqlText string, limitSeconds float64) (*exec.Result, Measure, error) {
 	ctx := &exec.Ctx{Model: e.Model, LimitSeconds: limitSeconds}
 	res, runErr := exec.Run(p, ctx)
 	m := Measure{SQL: sqlText, Seconds: ctx.Seconds(), Meter: ctx.Meter}

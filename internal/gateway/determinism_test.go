@@ -1,0 +1,117 @@
+// Determinism: a seeded sync fleet must yield byte-identical per-tenant
+// audit dumps and goal reports across repeated runs and across client
+// parallelism N ∈ {1, 4, 16}. Sequence numbers come from the schedule,
+// goal levels from order-insensitive cumulative counters, and all timing
+// is simulated — so the worker interleaving cannot leak into the bytes.
+package gateway
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// runSyncFleet drives one fresh gateway with the fixed seeded schedule
+// and returns the deterministic artifacts.
+func runSyncFleet(t *testing.T, workers int) (dumps map[string]string, goalReport string) {
+	t.Helper()
+	cfg := testConfig() // tuning off: the determinism contract fixes the configuration
+	g, ts := newTestGateway(t, cfg)
+	var tenants []FleetTenant
+	for _, tc := range cfg.Tenants {
+		tenants = append(tenants, FleetTenant{Name: tc.Name, APIKey: tc.APIKey, Families: tc.Families})
+	}
+	fleet, err := NewFleet(FleetOptions{
+		BaseURL:           ts.URL,
+		Tenants:           tenants,
+		Sessions:          24,
+		QueriesPerSession: 1,
+		Workers:           workers,
+		Seed:              11,
+		Sync:              true,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	rep, err := fleet.Run()
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	// Per-tenant caps exceed the worker count, so admission decisions
+	// are schedule-determined: nothing may bounce.
+	if rep.Rejected != 0 || rep.Errors != 0 {
+		t.Fatalf("sync fleet rejected %d, errors %d — caps must exceed workers", rep.Rejected, rep.Errors)
+	}
+	if rep.Accepted != int64(rep.Requests) {
+		t.Fatalf("accepted %d of %d", rep.Accepted, rep.Requests)
+	}
+	dumps = make(map[string]string, len(tenants))
+	for _, ft := range tenants {
+		dumps[ft.Name] = string(g.AuditDumpTenant(ft.Name))
+		if dumps[ft.Name] == "" {
+			t.Fatalf("tenant %s has an empty audit dump", ft.Name)
+		}
+	}
+	return dumps, g.GoalReport()
+}
+
+func TestDeterminismAcrossRunsAndParallelism(t *testing.T) {
+	baseDumps, baseReport := runSyncFleet(t, 4)
+
+	// Same seed, same workers: byte-identical artifacts.
+	repDumps, repReport := runSyncFleet(t, 4)
+	if repReport != baseReport {
+		t.Errorf("goal report differs across identical runs:\n--- run1\n%s--- run2\n%s", baseReport, repReport)
+	}
+	for name, dump := range baseDumps {
+		if repDumps[name] != dump {
+			t.Errorf("tenant %s audit dump differs across identical runs", name)
+		}
+	}
+
+	// Same seed, different client parallelism: still byte-identical.
+	for _, workers := range []int{1, 16} {
+		dumps, report := runSyncFleet(t, workers)
+		if report != baseReport {
+			t.Errorf("goal report differs at %d workers:\n--- base(4)\n%s--- %d\n%s", workers, baseReport, workers, report)
+		}
+		for name, dump := range baseDumps {
+			if dumps[name] != dump {
+				t.Errorf("tenant %s audit dump differs at %d workers", name, workers)
+			}
+		}
+	}
+}
+
+// TestGoalLevelMatchesCFCSatisfaction pins the cumulative counter
+// shortcut to the paper-facing definition: the per-step counters must
+// grade exactly like core.Goal.Satisfaction over the cumulative CFC.
+func TestGoalLevelMatchesCFCSatisfaction(t *testing.T) {
+	tc := TenantConfig{Name: "x", APIKey: "k", Families: []string{"NREF2J"}, Goal: "10:0.25,60:0.50,400:0.95"}
+	cfg := Config{Tenants: []TenantConfig{tc}}
+	cfg.setDefaults()
+	st := newTenantState(cfg.Tenants[0])
+	times := []float64{1, 5, 9, 10, 11, 59, 60, 61, 200, 399, 400, 500, 1200}
+	for _, s := range times {
+		st.noteCompleted("q", s, false, false)
+	}
+	st.noteCompleted("q", 0, true, false) // one timeout joins the denominator
+
+	st.mu.Lock()
+	got := st.goalLevelLocked()
+	st.mu.Unlock()
+
+	goal, err := core.ParseGoal(tc.Goal)
+	if err != nil {
+		t.Fatalf("parse goal: %v", err)
+	}
+	ms := make([]core.Measure, 0, len(times)+1)
+	for _, s := range times {
+		ms = append(ms, core.Measure{Seconds: s})
+	}
+	ms = append(ms, core.Measure{TimedOut: true})
+	want := goal.Satisfaction(core.NewCFC(ms, 0))
+	if got != want {
+		t.Errorf("goal level %v, want %v (CFC reference)", got, want)
+	}
+}

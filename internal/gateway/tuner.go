@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/recommender"
+)
+
+// tuner is the gateway's autonomic loop: when any tenant's sliding
+// window violates its goal, the pump nudges the tuner, which recommends
+// a configuration over the union of all tenants' recent queries and
+// applies it with the engine's incremental Transition — while traffic
+// keeps flowing on the engine's concurrent read path (the same
+// serve-while-retuning posture as the autopilot daemon).
+//
+// One tuner goroutine serializes retunes; nudges arriving mid-retune
+// coalesce into at most one pending trigger.
+type tuner struct {
+	g      *Gateway
+	recCfg recommender.Config
+	whatif *engine.WhatIf
+	budget int64
+
+	// trigger carries the name of the violating tenant. Capacity 1:
+	// sends are non-blocking, so a burst of violations collapses into
+	// one retune.
+	trigger chan string
+	done    chan struct{}
+	stop1   sync.Once
+
+	applied atomic.Int64
+	failed  atomic.Int64
+}
+
+func newTuner(g *Gateway, recCfg recommender.Config, whatif *engine.WhatIf, budget int64) *tuner {
+	return &tuner{
+		g:       g,
+		recCfg:  recCfg,
+		whatif:  whatif,
+		budget:  budget,
+		trigger: make(chan string, 1),
+		done:    make(chan struct{}),
+	}
+}
+
+// start launches the retune loop.
+func (tn *tuner) start() {
+	// conflint:worker retune loop; tuner.stop closes trigger and waits on done
+	go func() {
+		defer close(tn.done)
+		for tenant := range tn.trigger {
+			tn.retune(tenant)
+		}
+	}()
+}
+
+// signal nudges the tuner without blocking the hot path.
+func (tn *tuner) signal(tenant string) {
+	select {
+	case tn.trigger <- tenant:
+	default:
+	}
+}
+
+// stop ends the loop and waits for an in-flight retune to finish — a
+// Transition holds the engine's write lock and must never be abandoned
+// mid-build (the shutdown-ordering contract shared with autopilotd).
+func (tn *tuner) stop() {
+	tn.stop1.Do(func() { close(tn.trigger) })
+	<-tn.done
+}
+
+// retune recommends over the union of every tenant's recent distinct
+// queries (all tenants share one engine, so the configuration must serve
+// the blended workload) and applies the result incrementally.
+func (tn *tuner) retune(string) {
+	sqls := make([]string, 0, recentSQLCap)
+	seen := make(map[string]bool, recentSQLCap)
+	for _, name := range tn.g.tenantOrder {
+		for _, s := range tn.g.tenants[name].recentQueries() {
+			if !seen[s] {
+				seen[s] = true
+				sqls = append(sqls, s)
+			}
+		}
+	}
+	if len(sqls) == 0 {
+		return
+	}
+	cfg, err := recommender.New(tn.g.eng(), tn.recCfg).
+		Parallel(1).
+		UseSession(tn.whatif).
+		Recommend(sqls, tn.budget)
+	if err != nil {
+		tn.failed.Add(1)
+		return
+	}
+	cfg.Name = "gw-retune"
+	if _, err := tn.g.eng().Transition(cfg); err != nil {
+		tn.failed.Add(1)
+		return
+	}
+	tn.applied.Add(1)
+}

@@ -26,6 +26,7 @@ var determinismScope = map[string]bool{
 	"workload":  true,
 	"autopilot": true,
 	"bench":     true,
+	"gateway":   true,
 }
 
 // bannedRandFuncs are the math/rand package-level entry points that use
