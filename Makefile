@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke whatif-smoke gateway-smoke verify
+.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke whatif-smoke gateway-smoke shard-smoke verify
 
 build:
 	$(GO) build ./...
@@ -65,4 +65,12 @@ gateway-smoke:
 	$(GO) run ./cmd/loadgen -selfhost -scale 0.0001 -tuning \
 		-sessions 500 -queries 1 -workers 24 -o BENCH_gateway.json
 
-verify: build test race vet fmtcheck lint autopilot-smoke whatif-smoke gateway-smoke
+# The sharded engine's scaling curve and determinism contract: results
+# and recommendations byte-identical at 1 and 4 shards, simulated
+# throughput monotone in shard count, dry-run autoscaler audited without
+# mutating. Exits nonzero on any violation; the curve lands in
+# BENCH_shard.json.
+shard-smoke:
+	$(GO) run ./cmd/shardbench -smoke -o BENCH_shard.json
+
+verify: build test race vet fmtcheck lint autopilot-smoke whatif-smoke gateway-smoke shard-smoke

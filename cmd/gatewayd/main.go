@@ -32,6 +32,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	auditPath := flag.String("audit", "", "append audit records as JSON lines to this file")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+	shards := flag.Int("shards", -1, "override the config's shard count (0/1 = unsharded)")
+	shardMode := flag.String("shard-mode", "", "override the partitioning mode (hash or range)")
+	autoscale := flag.Bool("autoscale", false, "enable the elastic autoscaler regardless of the config")
+	dryRun := flag.Bool("autoscale-dry-run", false, "audit autoscale proposals without applying them")
 	flag.Parse()
 
 	if *configPath == "" {
@@ -39,15 +43,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *addr, *auditPath, *drainTimeout); err != nil {
+	ov := overrides{shards: *shards, shardMode: *shardMode, autoscale: *autoscale, dryRun: *dryRun}
+	if err := run(*configPath, *addr, *auditPath, *drainTimeout, ov); err != nil {
 		fmt.Fprintln(os.Stderr, "gatewayd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(configPath, addr, auditPath string, drainTimeout time.Duration) error {
+// overrides are command-line toggles layered over the config file.
+type overrides struct {
+	shards    int
+	shardMode string
+	autoscale bool
+	dryRun    bool
+}
+
+func (ov overrides) apply(cfg *gateway.Config) error {
+	if ov.shards >= 0 {
+		cfg.Shards = ov.shards
+	}
+	if ov.shardMode != "" {
+		cfg.ShardMode = ov.shardMode
+	}
+	if ov.autoscale {
+		cfg.Autoscale = true
+	}
+	if ov.dryRun {
+		cfg.AutoscaleDryRun = true
+	}
+	return cfg.Normalize()
+}
+
+func run(configPath, addr, auditPath string, drainTimeout time.Duration, ov overrides) error {
 	cfg, err := gateway.LoadConfig(configPath)
 	if err != nil {
+		return err
+	}
+	if err := ov.apply(&cfg); err != nil {
 		return err
 	}
 	opts := gateway.Options{Config: cfg}
@@ -77,6 +109,10 @@ func run(configPath, addr, auditPath string, drainTimeout time.Duration) error {
 	}()
 	fmt.Printf("gatewayd: %d tenants on http://%s (system %s, scale %g); loading catalog...\n",
 		len(cfg.Tenants), ln.Addr(), cfg.System, cfg.Scale)
+	if cfg.Shards > 1 || cfg.Autoscale {
+		fmt.Printf("gatewayd: sharding %d×%s, pool %d, autoscale=%v dry-run=%v\n",
+			cfg.Shards, cfg.ShardMode, cfg.ShardPool, cfg.Autoscale, cfg.AutoscaleDryRun)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -111,5 +147,9 @@ func shutdown(g *gateway.Gateway, srv *http.Server, drainTimeout time.Duration) 
 	}
 	s := g.Stats()
 	fmt.Printf("gatewayd: done — %d accepted, %d rejected, %d retunes\n", s.Accepted, s.Rejected, s.Retunes)
+	if sh := s.Sharding; sh != nil {
+		fmt.Printf("gatewayd: cluster — %d shards (%s), pool %d, %d reshards, %d fallbacks\n",
+			sh.Shards, sh.Mode, sh.Pool, sh.Reshards, sh.Fallbacks)
+	}
 	return nil
 }

@@ -38,6 +38,7 @@ func main() {
 	configPath := flag.String("config", "", "selfhost tenant config JSON (default: built-in 3-tenant config)")
 	scale := flag.Float64("scale", 0.0002, "selfhost data scale factor (built-in config only)")
 	tuning := flag.Bool("tuning", false, "selfhost: enable the per-tenant goal tuner (built-in config only)")
+	shards := flag.Int("shards", 0, "selfhost: serve partition-parallel through a shard cluster of this size (0 = config's setting)")
 	sessions := flag.Int("sessions", 500, "total sessions, assigned to tenants round-robin")
 	queries := flag.Int("queries", 1, "queries per session")
 	workers := flag.Int("workers", 16, "concurrent sessions")
@@ -53,7 +54,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*url, *tenantsFlag, *selfhost, *configPath, *scale, *tuning,
+	if err := run(*url, *tenantsFlag, *selfhost, *configPath, *scale, *tuning, *shards,
 		*sessions, *queries, *workers, *seed, *syncMode, *outFile, *goalReport, *auditDir); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -101,7 +102,7 @@ func parseTenants(s string) ([]gateway.FleetTenant, error) {
 	return out, nil
 }
 
-func run(url, tenantsFlag string, selfhost bool, configPath string, scale float64, tuning bool,
+func run(url, tenantsFlag string, selfhost bool, configPath string, scale float64, tuning bool, shards int,
 	sessions, queries, workers int, seed int64, syncMode bool, outFile string, goalReport bool, auditDir string) error {
 	var (
 		g         *gateway.Gateway
@@ -123,6 +124,12 @@ func run(url, tenantsFlag string, selfhost bool, configPath string, scale float6
 		if syncMode && cfg.Tuning {
 			fmt.Println("loadgen: -sync disables tuning (the determinism contract fixes the configuration)")
 			cfg.Tuning = false
+		}
+		if shards > 0 {
+			cfg.Shards = shards
+			if err := cfg.Normalize(); err != nil {
+				return err
+			}
 		}
 		for _, t := range cfg.Tenants {
 			fleetTen = append(fleetTen, gateway.FleetTenant{Name: t.Name, APIKey: t.APIKey, Families: t.Families})

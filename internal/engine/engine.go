@@ -152,6 +152,16 @@ func (e *Engine) CollectStats() {
 	}
 }
 
+// NoteTopologyChange records an estimate-moving change that happened
+// outside this engine — resharding moves rows between partitions, so any
+// H estimate cached against the old topology is stale. Open what-if
+// sessions flush on the next estimate.
+func (e *Engine) NoteTopologyChange() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.configEpoch++
+}
+
 // TableStats returns the collected statistics for a base table.
 func (e *Engine) TableStats(table string) *stats.TableStats {
 	e.statsMu.Lock()

@@ -14,6 +14,7 @@ package exec
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/cost"
@@ -34,7 +35,22 @@ type Ctx struct {
 	// exceeds it; 0 disables the limit.
 	LimitSeconds float64
 
+	// Preset, when non-nil, supplies the IN-subquery sets instead of
+	// computing them from the plan — the sharded execution path computes
+	// each set once on the coordinator (over the full tables, so HAVING
+	// COUNT(*) predicates see global counts) and injects the values into
+	// every partition's execution. Must hold exactly one entry per
+	// plan.InSets, in order; the set computation is not billed here (the
+	// coordinator billed it once).
+	Preset []InSetValues
+
 	ticks int
+}
+
+// InSetValues is the materialized value list of one IN-subquery set, in
+// the deterministic (ascending) probe order ComputeInSets produces.
+type InSetValues struct {
+	Vals []val.Value
 }
 
 // Seconds returns the simulated time consumed so far.
@@ -80,12 +96,8 @@ type executor struct {
 // Run executes the plan and returns its result.
 func Run(p *plan.Plan, ctx *Ctx) (*Result, error) {
 	e := &executor{ctx: ctx, p: p}
-	for i := range p.InSets {
-		set, err := e.computeInSet(&p.InSets[i])
-		if err != nil {
-			return nil, err
-		}
-		e.sets = append(e.sets, set)
+	if err := e.buildSets(); err != nil {
+		return nil, err
 	}
 	var raw []val.Row
 	if err := e.runNode(p.Root, func(r val.Row) error {
@@ -140,6 +152,52 @@ func (e *executor) assemble(raw []val.Row) *Result {
 		res.Rows = raw
 	}
 	return res
+}
+
+// buildSets materializes the plan's IN-subquery sets: from ctx.Preset
+// when injected (unbilled — the coordinator already paid), otherwise by
+// computing each set with billing.
+func (e *executor) buildSets() error {
+	if e.ctx.Preset != nil {
+		if len(e.ctx.Preset) != len(e.p.InSets) {
+			return fmt.Errorf("exec: %d preset IN-sets for a plan with %d", len(e.ctx.Preset), len(e.p.InSets))
+		}
+		for i := range e.ctx.Preset {
+			vals := e.ctx.Preset[i].Vals
+			set := &inSet{keys: make(map[string]bool, len(vals)), vals: vals}
+			for _, v := range vals {
+				set.keys[val.Row{v}.Key()] = true
+			}
+			e.sets = append(e.sets, set)
+		}
+		return nil
+	}
+	for i := range e.p.InSets {
+		set, err := e.computeInSet(&e.p.InSets[i])
+		if err != nil {
+			return err
+		}
+		e.sets = append(e.sets, set)
+	}
+	return nil
+}
+
+// ComputeInSets evaluates the plan's IN-subquery sets, billing the work
+// to ctx, and returns the value lists for injection into other
+// executions via Ctx.Preset. The sharded path calls this once on the
+// coordinator so every partition tests membership against the same
+// globally-computed sets.
+func ComputeInSets(p *plan.Plan, ctx *Ctx) ([]InSetValues, error) {
+	e := &executor{ctx: ctx, p: p}
+	out := make([]InSetValues, len(p.InSets))
+	for i := range p.InSets {
+		set, err := e.computeInSet(&p.InSets[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = InSetValues{Vals: set.vals}
+	}
+	return out, nil
 }
 
 // computeInSet evaluates one IN-subquery set.

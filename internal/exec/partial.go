@@ -1,0 +1,244 @@
+// Partition-parallel execution support: a plan can be executed against a
+// data partition producing a mergeable Partial instead of a final Result,
+// and Partials from every partition merge deterministically into exactly
+// the Result the unpartitioned execution would produce.
+//
+// The contract that makes merged results byte-identical at any partition
+// count:
+//
+//   - non-aggregate queries concatenate partition rows in partition-index
+//     order and re-sort with Run's exact comparator (ORDER BY keys, then
+//     the canonical row order) — a total order, so the multiset of rows
+//     determines the bytes;
+//   - aggregate queries merge per-group states: counts add exactly
+//     (int64), MIN/MAX merge through val.Compare (order-insensitive),
+//     COUNT(DISTINCT) unions key sets, and SUM/AVG add float partial sums
+//     in partition-index order. Integer-column sums are exact at every
+//     partition count (each partial sum is an exactly-representable
+//     integer); float-column sums can differ across partition counts by
+//     reassociation ULPs — the benchmark families aggregate only COUNT(*)
+//     and COUNT(DISTINCT), which are exact.
+//
+// Partition executions bill their own meters; the merge bills its row and
+// group work to the merge context. The caller (internal/shard) combines
+// them into the sharded cost: set computation + max over partitions +
+// merge.
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/val"
+)
+
+// Partial is the mergeable output of one partition's execution of a plan.
+// It is produced by RunPartial and consumed by MergePartials; the zero
+// value is not meaningful.
+type Partial struct {
+	agg    bool
+	rows   []val.Row            // non-aggregate: operator output rows (unsorted)
+	groups map[string]*aggState // aggregate: per-group partial states
+}
+
+// RunPartial executes the plan over this partition's data and returns a
+// mergeable partial result. For aggregate plans (HashAgg root) the
+// aggregation state is kept open — counts, partial sums, min/max and
+// distinct-value sets per group — so partitions of a group combine
+// exactly. For every other plan shape the partition's finished rows are
+// returned for concatenation. Billing (including hash-table spill
+// accounting over this partition's group count) mirrors Run.
+func RunPartial(p *plan.Plan, ctx *Ctx) (*Partial, error) {
+	e := &executor{ctx: ctx, p: p}
+	if err := e.buildSets(); err != nil {
+		return nil, err
+	}
+	root, ok := p.Root.(*plan.HashAgg)
+	if !ok {
+		var raw []val.Row
+		if err := e.runNode(p.Root, func(r val.Row) error {
+			raw = append(raw, r)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return &Partial{rows: raw}, nil
+	}
+
+	groups, err := e.accumulateAgg(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Partial{agg: true, groups: groups}, nil
+}
+
+// accumulateAgg runs the aggregate's input and accumulates group states
+// without finishing them — the open-state half of runHashAgg, billed the
+// same way.
+func (e *executor) accumulateAgg(n *plan.HashAgg) (map[string]*aggState, error) {
+	groups := make(map[string]*aggState)
+	err := e.runNode(n.Input, func(r val.Row) error {
+		e.ctx.Meter.CPUOps++
+		if err := e.ctx.check(); err != nil {
+			return err
+		}
+		gv := r.Project(n.Groups)
+		k := gv.Key()
+		st := groups[k]
+		if st == nil {
+			st = &aggState{
+				groupVals: gv,
+				counts:    make([]int64, len(n.Aggs)),
+				sums:      make([]float64, len(n.Aggs)),
+				mins:      make([]val.Value, len(n.Aggs)),
+				maxs:      make([]val.Value, len(n.Aggs)),
+				distinct:  make([]map[string]bool, len(n.Aggs)),
+			}
+			groups[k] = st
+		}
+		for i, a := range n.Aggs {
+			if a.Kind == sql.AggCountStar {
+				st.counts[i]++
+				continue
+			}
+			v := r[a.Offset]
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			st.sums[i] += v.AsFloat()
+			if st.counts[i] == 1 || val.Compare(v, st.mins[i]) < 0 {
+				st.mins[i] = v
+			}
+			if st.counts[i] == 1 || val.Compare(v, st.maxs[i]) > 0 {
+				st.maxs[i] = v
+			}
+			if a.Kind == sql.AggCountDistinct {
+				if st.distinct[i] == nil {
+					st.distinct[i] = make(map[string]bool)
+				}
+				st.distinct[i][val.Row{v}.Key()] = true
+				e.ctx.Meter.CPUOps++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Spill accounting over this partition's group count, as in runHashAgg.
+	bytes := int64(len(groups)) * int64(n.GroupWidth)
+	if n.GroupWidth > 0 && float64(bytes)*scaleOf(e.ctx.Model) > float64(memOf(e)) {
+		pg := cost.PagesForBytes(bytes)
+		e.ctx.Meter.WritePage += pg
+		e.ctx.Meter.SeqPages += pg
+	}
+	return groups, nil
+}
+
+// mergeAggState folds src (one partition's state for a group) into dst in
+// place. Partitions are folded in partition-index order, which fixes the
+// float-sum association; everything else is order-insensitive.
+func mergeAggState(dst, src *aggState) {
+	for i := range dst.counts {
+		first := dst.counts[i] == 0
+		dst.counts[i] += src.counts[i]
+		dst.sums[i] += src.sums[i]
+		if src.counts[i] > 0 {
+			if first || val.Compare(src.mins[i], dst.mins[i]) < 0 {
+				dst.mins[i] = src.mins[i]
+			}
+			if first || val.Compare(src.maxs[i], dst.maxs[i]) > 0 {
+				dst.maxs[i] = src.maxs[i]
+			}
+		}
+		if src.distinct[i] != nil {
+			if dst.distinct[i] == nil {
+				dst.distinct[i] = src.distinct[i]
+			} else {
+				for k := range src.distinct[i] {
+					dst.distinct[i][k] = true
+				}
+			}
+		}
+	}
+}
+
+// MergePartials reduces the partitions' partial results — in
+// partition-index order — into the final Result for the plan, billing the
+// merge's row and group work to ctx. The plan must be the one the
+// partials were produced from (any partition's plan, or the
+// coordinator's: only the Query output mapping and root shape are
+// consulted). Nil partials are rejected by construction: callers must
+// pass one partial per partition.
+func MergePartials(p *plan.Plan, parts []*Partial, ctx *Ctx) (*Result, error) {
+	e := &executor{ctx: ctx, p: p}
+	total := 0
+	for _, part := range parts {
+		total += len(part.rows) + len(part.groups)
+	}
+	raw := make([]val.Row, 0, total)
+	if _, isAgg := p.Root.(*plan.HashAgg); isAgg {
+		// Fold every partition's states group-by-group. A group's first
+		// occurrence (lowest partition index) is the fold seed, and later
+		// partitions fold in index order, so per-group results are
+		// deterministic regardless of map iteration order.
+		merged := make(map[string]*aggState)
+		keys := make([]string, 0, 64)
+		for _, part := range parts {
+			for k, st := range part.groups {
+				e.ctx.Meter.CPUOps++
+				cur := merged[k]
+				if cur == nil {
+					merged[k] = st
+					keys = append(keys, k)
+					continue
+				}
+				mergeAggState(cur, st)
+			}
+			if err := e.ctx.check(); err != nil {
+				return nil, err
+			}
+		}
+		sort.Strings(keys) // deterministic finish order (cosmetic: the final sort below decides output order)
+		agg := p.Root.(*plan.HashAgg)
+		for _, k := range keys {
+			st := merged[k]
+			rowOut := make(val.Row, len(agg.Groups)+len(agg.Aggs))
+			copy(rowOut, st.groupVals)
+			for i, a := range agg.Aggs {
+				rowOut[len(agg.Groups)+i] = finishAgg(a.Kind, st, i)
+			}
+			raw = append(raw, rowOut)
+		}
+	} else {
+		for _, part := range parts {
+			e.ctx.Meter.CPUOps += int64(len(part.rows))
+			raw = append(raw, part.rows...)
+			if err := e.ctx.check(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := e.assemble(raw)
+	// Identical final ordering to Run: ORDER BY keys, then the canonical
+	// row order as the deterministic tiebreak.
+	specs := p.Query.OrderBy
+	sort.Slice(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		for _, o := range specs {
+			c := val.Compare(a[o.OutIdx], b[o.OutIdx])
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return val.CompareRows(a, b) < 0
+	})
+	return res, nil
+}

@@ -37,7 +37,7 @@ func (g *Gateway) pump(t *tenantState) {
 	for j := range t.queue {
 		g.gate <- struct{}{}
 		g.inflight.Add(1)
-		res, m, err := g.eng().RunAnalyzed(j.q, g.cfg.TimeoutSeconds)
+		res, m, err := g.run(j.q, g.cfg.TimeoutSeconds)
 		g.inflight.Add(-1)
 		<-g.gate
 		g.finish(j, res, m, err)
@@ -74,6 +74,9 @@ func (g *Gateway) finish(j *job, res *exec.Result, m engine.Measure, err error) 
 		if tn := g.tunerP.Load(); tn != nil {
 			tn.signal(j.tenant.cfg.Name)
 		}
+	}
+	if as := g.autoP.Load(); as != nil {
+		as.observe(m.Seconds, m.TimedOut, err != nil)
 	}
 	j.reply <- jobResult{res: res, m: m, err: err}
 	g.drainWG.Done()

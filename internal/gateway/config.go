@@ -37,8 +37,44 @@ type Config struct {
 	// incremental engine transition while traffic keeps flowing.
 	Tuning bool `json:"tuning"`
 
+	// Shards > 1 serves queries through a partition-parallel shard
+	// cluster over the engine (0 or 1 = unsharded direct execution).
+	Shards int `json:"shards,omitempty"`
+	// ShardMode picks the partitioning scheme: "hash" (default) or
+	// "range".
+	ShardMode string `json:"shard_mode,omitempty"`
+	// ShardPool is the worker fan-out per partition-parallel query.
+	ShardPool int `json:"shard_pool,omitempty"`
+
+	// Autoscale starts the elastic autoscaler: sliding windows of
+	// completed queries are graded against AutoscaleGoal and fed to the
+	// scaling rules, which may reshard the cluster or resize its pool.
+	// Implies a cluster even when Shards <= 1 (it starts at one shard).
+	Autoscale bool `json:"autoscale,omitempty"`
+	// AutoscaleDryRun audits every proposal without mutating anything.
+	AutoscaleDryRun bool `json:"autoscale_dry_run,omitempty"`
+	// AutoscaleWindow is how many completed queries form one metrics
+	// window.
+	AutoscaleWindow int `json:"autoscale_window,omitempty"`
+	// AutoscaleTarget is the mean-latency target (simulated seconds) the
+	// default scaling rules aim for.
+	AutoscaleTarget float64 `json:"autoscale_target,omitempty"`
+	// AutoscaleGoal is the goal curve windows are graded against, in
+	// core.ParseGoal format; empty means the paper's Example 2 goal.
+	AutoscaleGoal string `json:"autoscale_goal,omitempty"`
+	// MinShards/MaxShards/MinPool/MaxPool bound the autoscaler; a
+	// proposal outside the bounds is refused (audited), never clamped.
+	// Zero max means unbounded, zero min means 1.
+	MinShards int `json:"min_shards,omitempty"`
+	MaxShards int `json:"max_shards,omitempty"`
+	MinPool   int `json:"min_pool,omitempty"`
+	MaxPool   int `json:"max_pool,omitempty"`
+
 	Tenants []TenantConfig `json:"tenants"`
 }
+
+// sharded reports whether the gateway serves through a shard cluster.
+func (c *Config) sharded() bool { return c.Shards > 1 || c.Autoscale }
 
 // TenantConfig declares one tenant: identity, capabilities and QoS goal.
 type TenantConfig struct {
@@ -92,6 +128,28 @@ func (c *Config) setDefaults() {
 	if c.TimeoutSeconds == 0 {
 		c.TimeoutSeconds = core.DefaultTimeout
 	}
+	if c.sharded() {
+		if c.ShardMode == "" {
+			c.ShardMode = "hash"
+		}
+		if c.ShardPool == 0 {
+			c.ShardPool = 4
+		}
+	}
+	if c.Autoscale {
+		if c.AutoscaleWindow == 0 {
+			c.AutoscaleWindow = 32
+		}
+		if c.AutoscaleTarget == 0 {
+			c.AutoscaleTarget = 60
+		}
+		if c.MaxShards == 0 {
+			c.MaxShards = 8
+		}
+		if c.MaxPool == 0 {
+			c.MaxPool = 16
+		}
+	}
 	for i := range c.Tenants {
 		t := &c.Tenants[i]
 		if t.MaxQueue == 0 {
@@ -122,6 +180,36 @@ func (c *Config) Validate() (string, error) {
 	}
 	if c.GlobalInflight < 1 {
 		return "", fmt.Errorf("gateway: global_inflight must be positive, got %d", c.GlobalInflight)
+	}
+	if c.Shards < 0 {
+		return "", fmt.Errorf("gateway: shards must be non-negative, got %d", c.Shards)
+	}
+	switch c.ShardMode {
+	case "", "hash", "range":
+	default:
+		return "", fmt.Errorf("gateway: unknown shard_mode %q (want hash or range)", c.ShardMode)
+	}
+	if c.sharded() && c.ShardPool < 1 {
+		return "", fmt.Errorf("gateway: shard_pool must be positive, got %d", c.ShardPool)
+	}
+	if c.Autoscale {
+		if c.AutoscaleWindow < 1 {
+			return "", fmt.Errorf("gateway: autoscale_window must be positive, got %d", c.AutoscaleWindow)
+		}
+		if c.AutoscaleTarget <= 0 {
+			return "", fmt.Errorf("gateway: autoscale_target must be positive, got %v", c.AutoscaleTarget)
+		}
+		if c.MaxShards > 0 && c.MinShards > c.MaxShards {
+			return "", fmt.Errorf("gateway: min_shards %d exceeds max_shards %d", c.MinShards, c.MaxShards)
+		}
+		if c.MaxPool > 0 && c.MinPool > c.MaxPool {
+			return "", fmt.Errorf("gateway: min_pool %d exceeds max_pool %d", c.MinPool, c.MaxPool)
+		}
+		if c.AutoscaleGoal != "" {
+			if _, err := core.ParseGoal(c.AutoscaleGoal); err != nil {
+				return "", fmt.Errorf("gateway: autoscale_goal: %w", err)
+			}
+		}
 	}
 	db := ""
 	names := make(map[string]bool, len(c.Tenants))
@@ -169,6 +257,19 @@ func (c *Config) Validate() (string, error) {
 	return db, nil
 }
 
+// autoscaleGoalOf resolves the autoscaler's grading goal.
+func (c *Config) autoscaleGoalOf() core.Goal {
+	if c.AutoscaleGoal == "" {
+		return core.Example2Goal()
+	}
+	g, err := core.ParseGoal(c.AutoscaleGoal)
+	if err != nil {
+		// Validate rejected this earlier; fall back rather than panic.
+		return core.Example2Goal()
+	}
+	return g
+}
+
 // goalOf resolves a tenant's goal curve.
 func (t *TenantConfig) goalOf() core.Goal {
 	if t.Goal == "" {
@@ -203,6 +304,14 @@ func (t *TenantConfig) familySet() map[string]bool {
 		out[f] = true
 	}
 	return out
+}
+
+// Normalize re-applies defaults and validation after programmatic edits
+// (gatewayd's flag overrides edit a loaded config).
+func (c *Config) Normalize() error {
+	c.setDefaults()
+	_, err := c.Validate()
+	return err
 }
 
 // LoadConfig reads and validates a JSON config file.

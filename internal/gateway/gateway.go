@@ -31,8 +31,11 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bench"
+	"repro/internal/conf"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/recommender"
+	"repro/internal/shard"
 	"repro/internal/sql"
 )
 
@@ -46,6 +49,10 @@ type Backend struct {
 	Pools map[string][]string
 	// Budget is the tuner's storage budget in bytes.
 	Budget int64
+	// Cluster, when non-nil, serves queries partition-parallel over the
+	// engine. load builds one from the config when sharding or
+	// autoscaling is requested and the provided backend lacks it.
+	Cluster *shard.Cluster
 }
 
 // Options assembles a Gateway.
@@ -83,6 +90,7 @@ type Gateway struct {
 
 	backend atomic.Pointer[Backend]
 	tunerP  atomic.Pointer[tuner]
+	autoP   atomic.Pointer[autoscaler]
 	readyCh chan struct{}
 	loadMu  sync.Mutex
 	loadErr error // conflint:guardedby loadMu
@@ -195,6 +203,21 @@ func New(opts Options) (*Gateway, error) {
 func (g *Gateway) load(build func(Config) (*Backend, error)) {
 	defer close(g.readyCh)
 	b, err := build(g.cfg)
+	if err == nil && g.cfg.sharded() && b.Cluster == nil {
+		n := g.cfg.Shards
+		if n < 1 {
+			n = 1 // autoscale without explicit shards starts unsharded
+		}
+		var cl *shard.Cluster
+		cl, err = shard.New(b.Engine, shard.Spec{Shards: n, Mode: shard.Mode(g.cfg.ShardMode)}, g.cfg.ShardPool)
+		if err == nil {
+			// Copy-on-write: the provided backend may be shared across
+			// gateways (tests share one loaded lab), so never mutate it.
+			nb := *b
+			nb.Cluster = cl
+			b = &nb
+		}
+	}
 	if err != nil {
 		g.loadMu.Lock()
 		g.loadErr = err
@@ -212,6 +235,11 @@ func (g *Gateway) load(build func(Config) (*Backend, error)) {
 		g.tunerP.Store(tn)
 		tn.start()
 	}
+	if g.cfg.Autoscale && b.Cluster != nil {
+		as := newAutoscaler(g, b.Cluster)
+		g.autoP.Store(as)
+		as.start()
+	}
 	for _, name := range g.tenantOrder {
 		t := g.tenants[name]
 		for i := 0; i < t.cfg.MaxConcurrency; i++ {
@@ -224,6 +252,31 @@ func (g *Gateway) load(build func(Config) (*Backend, error)) {
 
 // eng returns the loaded engine (handlers only call it once ready).
 func (g *Gateway) eng() *engine.Engine { return g.backend.Load().Engine }
+
+// cluster returns the shard cluster, nil when serving unsharded.
+func (g *Gateway) cluster() *shard.Cluster { return g.backend.Load().Cluster }
+
+// run executes one analyzed query on the serving substrate: partition-
+// parallel through the shard cluster when sharded, directly on the
+// engine otherwise. Results and simulated costs are byte-identical
+// either way — the cluster's determinism contract.
+func (g *Gateway) run(q *sql.Query, limitSeconds float64) (*exec.Result, engine.Measure, error) {
+	if cl := g.cluster(); cl != nil {
+		return cl.RunAnalyzed(q, limitSeconds)
+	}
+	return g.eng().RunAnalyzed(q, limitSeconds)
+}
+
+// transition applies a configuration through the cluster when sharded,
+// so partitions pick up the base-table structures too.
+func (g *Gateway) transition(cfg conf.Configuration) error {
+	if cl := g.cluster(); cl != nil {
+		_, err := cl.Transition(cfg)
+		return err
+	}
+	_, err := g.eng().Transition(cfg)
+	return err
+}
 
 // Ready reports whether the catalog is loaded and admission is open.
 func (g *Gateway) Ready() bool {
@@ -542,6 +595,9 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 
 		if tn := g.tunerP.Load(); tn != nil {
 			tn.stop()
+		}
+		if as := g.autoP.Load(); as != nil {
+			as.stop()
 		}
 	})
 	return g.shutdownErr

@@ -22,7 +22,25 @@ type Snapshot struct {
 	RetuneErrs int64            `json:"retune_errors,omitempty"`
 	AuditKept  int64            `json:"audit_records"`
 	AuditLost  int64            `json:"audit_overflow,omitempty"`
+	Sharding   *ShardSnapshot   `json:"sharding,omitempty"`
 	Tenants    []TenantSnapshot `json:"tenants"`
+}
+
+// ShardSnapshot reports the shard cluster and autoscaler state (absent
+// when the gateway serves unsharded).
+type ShardSnapshot struct {
+	Shards    int    `json:"shards"`
+	Pool      int    `json:"pool"`
+	Mode      string `json:"mode"`
+	Queries   int64  `json:"queries"`
+	Fallbacks int64  `json:"fallbacks"`
+	Timeouts  int64  `json:"timeouts,omitempty"`
+	Reshards  int64  `json:"reshards"`
+
+	Autoscale        bool             `json:"autoscale,omitempty"`
+	AutoscaleDryRun  bool             `json:"autoscale_dry_run,omitempty"`
+	AutoscaleWindows int64            `json:"autoscale_windows,omitempty"`
+	AutoscaleActions map[string]int64 `json:"autoscale_actions,omitempty"`
 }
 
 // Stats assembles the live snapshot.
@@ -44,6 +62,32 @@ func (g *Gateway) Stats() Snapshot {
 	s.AuditKept = int64(len(g.audit.records))
 	s.AuditLost = g.audit.dropped
 	g.audit.mu.Unlock()
+	if b := g.backend.Load(); b != nil && b.Cluster != nil {
+		cl := b.Cluster
+		st := cl.Stats()
+		sh := &ShardSnapshot{
+			Shards:    cl.Shards(),
+			Pool:      cl.Pool(),
+			Mode:      string(cl.Spec().Mode),
+			Queries:   st.Queries,
+			Fallbacks: st.Fallbacks,
+			Timeouts:  st.Timeouts,
+			Reshards:  st.Reshards,
+		}
+		if as := g.autoP.Load(); as != nil {
+			sh.Autoscale = true
+			sh.AutoscaleDryRun = as.upd.DryRun
+			sh.AutoscaleWindows = as.windows.Load()
+			audit := as.upd.Audit()
+			if len(audit) > 0 {
+				sh.AutoscaleActions = make(map[string]int64, 4)
+				for _, rec := range audit {
+					sh.AutoscaleActions[rec.Action]++
+				}
+			}
+		}
+		s.Sharding = sh
+	}
 	s.Tenants = make([]TenantSnapshot, 0, len(g.tenantOrder))
 	for _, name := range g.tenantOrder {
 		s.Tenants = append(s.Tenants, g.tenants[name].snapshot())
@@ -80,6 +124,23 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("gateway_rejected_total", float64(s.Rejected))
 	b.WriteString("# HELP gateway_retunes_total Goal-triggered configuration transitions applied.\n# TYPE gateway_retunes_total counter\n")
 	gauge("gateway_retunes_total", float64(s.Retunes))
+	if s.Sharding != nil {
+		b.WriteString("# HELP gateway_shards Current shard count.\n# TYPE gateway_shards gauge\n")
+		gauge("gateway_shards", float64(s.Sharding.Shards))
+		b.WriteString("# HELP gateway_shard_pool Current partition worker-pool width.\n# TYPE gateway_shard_pool gauge\n")
+		gauge("gateway_shard_pool", float64(s.Sharding.Pool))
+		b.WriteString("# HELP gateway_reshards_total Live topology changes applied.\n# TYPE gateway_reshards_total counter\n")
+		gauge("gateway_reshards_total", float64(s.Sharding.Reshards))
+		b.WriteString("# HELP gateway_autoscale_actions_total Autoscaler audit records by action.\n# TYPE gateway_autoscale_actions_total counter\n")
+		actions := make([]string, 0, len(s.Sharding.AutoscaleActions))
+		for a := range s.Sharding.AutoscaleActions {
+			actions = append(actions, a)
+		}
+		sort.Strings(actions)
+		for _, a := range actions {
+			gauge("gateway_autoscale_actions_total{action=\""+a+"\"}", float64(s.Sharding.AutoscaleActions[a]))
+		}
+	}
 
 	b.WriteString("# HELP gateway_tenant_admitted_total Queries admitted per tenant.\n# TYPE gateway_tenant_admitted_total counter\n")
 	for _, t := range s.Tenants {

@@ -98,7 +98,7 @@ func (tn *tuner) retune(string) {
 		return
 	}
 	cfg.Name = "gw-retune"
-	if _, err := tn.g.eng().Transition(cfg); err != nil {
+	if err := tn.g.transition(cfg); err != nil {
 		tn.failed.Add(1)
 		return
 	}

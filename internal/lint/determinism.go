@@ -9,8 +9,9 @@
 //     so a report built directly from a map range differs run to run.
 //
 // The rule applies to the packages that produce measurements and reports
-// (core, workload, autopilot, bench, and the lint fixture packages that
-// opt in by name); engines and daemons may read the clock freely.
+// (core, workload, autopilot, bench, gateway, shard, and the lint fixture
+// packages that opt in by name); engines and daemons may read the clock
+// freely.
 package lint
 
 import (
@@ -27,6 +28,7 @@ var determinismScope = map[string]bool{
 	"autopilot": true,
 	"bench":     true,
 	"gateway":   true,
+	"shard":     true,
 }
 
 // bannedRandFuncs are the math/rand package-level entry points that use

@@ -1,0 +1,481 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/val"
+)
+
+// Cluster is a sharded engine: a coordinator engine holding the full
+// data (and answering estimates, what-if sessions and recommender calls
+// exactly as before) plus N partition engines, each holding one
+// row-disjoint slice of every base table with its own partitioned
+// B+-trees.
+//
+// Queries execute partition-parallel over a bounded core.Runner pool and
+// merge deterministically; Reshard swaps in a new partition set live, and
+// Transition propagates configuration changes to every partition.
+//
+// Lock order: reshardMu before mu. Engine-internal locks are only taken
+// with both released (topology snapshots are handed out under RLock and
+// used lock-free — partition engines are immutable once published except
+// through their own internal locking).
+type Cluster struct {
+	coord *engine.Engine
+
+	// reshardMu serializes topology and configuration changes (Reshard,
+	// Transition); the expensive partition builds run under it without
+	// blocking queries, which only need mu for a snapshot.
+	reshardMu sync.Mutex
+
+	mu     sync.RWMutex
+	spec   Spec             // conflint:guardedby mu
+	shards []*engine.Engine // conflint:guardedby mu (nil for a 1-shard topology)
+	pool   int              // conflint:guardedby mu
+
+	statMu sync.Mutex
+	st     Stats // conflint:guardedby statMu
+}
+
+// Stats is a snapshot of the cluster's execution counters, the raw
+// material for the autoscaler's Amdahl prediction: SerialSeconds is
+// simulated time that does not shrink with shard count (IN-set
+// computation, merge, serial fallbacks), ParallelWork is the total
+// simulated shard time normalized to one shard (sum over queries of
+// max-shard-seconds × shard count).
+type Stats struct {
+	Queries       int64
+	Fallbacks     int64 // queries run coordinator-serial (view plans, self-joins)
+	Timeouts      int64
+	Reshards      int64
+	SerialSeconds float64
+	ParallelWork  float64
+}
+
+// New builds a cluster over an already-loaded coordinator engine. The
+// coordinator must have its data loaded and stats collected; its current
+// configuration is propagated (base-table structures only) to every
+// partition.
+func New(coord *engine.Engine, spec Spec, pool int) (*Cluster, error) {
+	spec = spec.normalized()
+	if err := spec.validate(coord.Schema); err != nil {
+		return nil, err
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	c := &Cluster{coord: coord, spec: spec, pool: pool}
+	shards, err := c.buildShards(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.shards = shards
+	return c, nil
+}
+
+// Coordinator returns the full-data engine behind the cluster — the
+// estimation and recommendation surface (E, H and goal reports are
+// topology-invariant: they are always computed against the full data).
+func (c *Cluster) Coordinator() *engine.Engine { return c.coord }
+
+// Shards returns the current shard count.
+func (c *Cluster) Shards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.spec.Shards
+}
+
+// Pool returns the current worker-pool width for partition fan-out.
+func (c *Cluster) Pool() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pool
+}
+
+// SetPool changes the worker-pool width (min 1). Unlike Reshard this is
+// instant: the pool bounds fan-out concurrency only.
+func (c *Cluster) SetPool(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.pool = n
+	c.mu.Unlock()
+}
+
+// Spec returns the current topology spec.
+func (c *Cluster) Spec() Spec {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.spec
+}
+
+// Stats returns a snapshot of the execution counters.
+func (c *Cluster) Stats() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.st
+}
+
+// buildShards constructs the partition engines for a spec: partition
+// every base table's rows, load them, collect statistics, and build the
+// coordinator's current base-table structures over each partition. Called
+// without c.mu held (the coordinator's heaps are append-only and only
+// mutated at load time, never while a cluster serves).
+func (c *Cluster) buildShards(spec Spec) ([]*engine.Engine, error) {
+	if spec.Shards <= 1 {
+		return nil, nil // 1-shard topology serves straight from the coordinator
+	}
+	shards := make([]*engine.Engine, spec.Shards)
+	for i := range shards {
+		sh := engine.New(c.coord.Schema, c.coord.ScaleFactor, c.coord.Profile)
+		sh.Model = c.coord.Model
+		shards[i] = sh
+	}
+	for _, t := range c.coord.Schema.Tables() {
+		h := c.coord.Heap(t.Name)
+		if h == nil {
+			return nil, fmt.Errorf("shard: coordinator has no heap for %s", t.Name)
+		}
+		rows := make([]val.Row, 0, h.NumRows())
+		h.Scan(nil, func(_ storage.RowID, r val.Row) bool {
+			rows = append(rows, r)
+			return true
+		})
+		part := newPartitioner(spec, t, rows)
+		buckets := make([][]val.Row, spec.Shards)
+		for _, r := range rows {
+			s := part.locate(r)
+			buckets[s] = append(buckets[s], r)
+		}
+		for i, sh := range shards {
+			if err := sh.Load(t.Name, buckets[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cfg := baseOnly(c.coord.Schema, c.coord.Current())
+	for _, sh := range shards {
+		sh.CollectStats()
+		if _, err := sh.ApplyConfig(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+// baseOnly strips a configuration down to what a partition materializes:
+// indexes over base tables. Views (and their indexes) stay
+// coordinator-only — a materialized view is a global derived result, so
+// any plan using one runs coordinator-serial.
+func baseOnly(schema *catalog.Schema, cfg conf.Configuration) conf.Configuration {
+	out := conf.Configuration{Name: cfg.Name}
+	for _, d := range cfg.Indexes {
+		if schema.Table(d.Table) != nil {
+			out.Indexes = append(out.Indexes, d)
+		}
+	}
+	return out
+}
+
+// Reshard rebuilds the cluster at a new shard count and swaps it in
+// live. Running queries keep their snapshot of the old topology; new
+// queries see the new one. The coordinator's what-if epoch is bumped so
+// cached H estimates never survive the topology change.
+func (c *Cluster) Reshard(n int) error {
+	if n < 1 {
+		return fmt.Errorf("shard: cannot reshard to %d shards", n)
+	}
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	c.mu.RLock()
+	spec := c.spec
+	c.mu.RUnlock()
+	if n == spec.Shards {
+		return nil
+	}
+	spec.Shards = n
+	shards, err := c.buildShards(spec)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.spec = spec
+	c.shards = shards
+	c.mu.Unlock()
+	c.statMu.Lock()
+	c.st.Reshards++
+	c.statMu.Unlock()
+	c.coord.NoteTopologyChange()
+	return nil
+}
+
+// Transition applies a configuration change to the coordinator and every
+// partition (base-table structures only on partitions), reusing overlap
+// on each engine. The returned report is the coordinator's.
+func (c *Cluster) Transition(target conf.Configuration) (engine.BuildReport, error) {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	rep, err := c.coord.Transition(target)
+	if err != nil {
+		return rep, err
+	}
+	c.mu.RLock()
+	shards := c.shards
+	c.mu.RUnlock()
+	cfg := baseOnly(c.coord.Schema, target)
+	for _, sh := range shards {
+		if _, err := sh.Transition(cfg); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// Run parses, analyzes and executes a query partition-parallel.
+func (c *Cluster) Run(sqlText string, limitSeconds float64) (*exec.Result, engine.Measure, error) {
+	q, err := c.coord.AnalyzeSQL(sqlText)
+	if err != nil {
+		return nil, engine.Measure{}, err
+	}
+	return c.RunAnalyzed(q, limitSeconds)
+}
+
+// RunAnalyzed executes an already-analyzed query across the partitions
+// and merges the results deterministically. The measure's Seconds is the
+// sharded simulated cost: IN-set computation (coordinator, once) + the
+// slowest partition + the merge. Plans that read materialized views, and
+// queries with no partitionable table (every table self-joined), fall
+// back to coordinator-serial execution — identically at every shard
+// count, so results stay byte-identical across topologies.
+func (c *Cluster) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result, engine.Measure, error) {
+	c.mu.RLock()
+	shards := c.shards
+	pool := c.pool
+	nShards := c.spec.Shards
+	c.mu.RUnlock()
+
+	if len(shards) == 0 {
+		res, m, err := c.coord.RunAnalyzed(q, limitSeconds)
+		c.note(m, 0, m.Seconds, false)
+		return res, m, err
+	}
+
+	opts := c.coord.Profile.Opts
+	coordPhys := c.coord.Physical()
+	coordPlan, err := optimizer.Optimize(coordPhys, q, opts)
+	if err != nil {
+		return nil, engine.Measure{}, err
+	}
+	designated, ok := designate(q, coordPhys)
+	if !ok || planUsesView(coordPlan.Root) {
+		res, m, err := c.coord.RunAnalyzed(q, limitSeconds)
+		c.note(m, 0, m.Seconds, true)
+		return res, m, err
+	}
+
+	sqlText := q.SQL()
+
+	// Phase 1 (serial, coordinator): IN-subquery sets over the full
+	// tables, so HAVING COUNT(*) predicates see global counts.
+	insetCtx := &exec.Ctx{Model: c.coord.Model, LimitSeconds: limitSeconds}
+	preset, err := exec.ComputeInSets(coordPlan, insetCtx)
+	if err != nil {
+		if err == exec.ErrTimeout {
+			m := engine.Measure{SQL: sqlText, Seconds: limitSeconds, TimedOut: true, Meter: insetCtx.Meter}
+			c.note(m, 0, 0, false)
+			return nil, m, nil
+		}
+		return nil, engine.Measure{}, err
+	}
+
+	// Phase 2 (parallel): each partition plans against a hybrid physical
+	// — the designated table and its indexes from the partition,
+	// everything else from the coordinator — and produces a mergeable
+	// partial. Indexed fan-out; errors resolve to the lowest index.
+	shardOpts := opts
+	shardOpts.NoViews = true
+	partials := make([]*exec.Partial, len(shards))
+	meters := make([]exec.Ctx, len(shards))
+	runner := core.Runner{Parallelism: pool}
+	err = runner.Each(len(shards), func(i int) error {
+		hybrid := hybridPhysical(coordPhys, shards[i].Physical(), designated)
+		p, perr := optimizer.Optimize(hybrid, q, shardOpts)
+		if perr != nil {
+			return perr
+		}
+		ctx := &exec.Ctx{Model: c.coord.Model, LimitSeconds: limitSeconds, Preset: preset}
+		part, rerr := exec.RunPartial(p, ctx)
+		meters[i] = *ctx
+		if rerr != nil {
+			return rerr
+		}
+		partials[i] = part
+		return nil
+	})
+	if err != nil {
+		if err == exec.ErrTimeout {
+			m := timeoutMeasure(sqlText, limitSeconds, insetCtx, meters)
+			c.note(m, 0, 0, false)
+			return nil, m, nil
+		}
+		return nil, engine.Measure{}, err
+	}
+
+	// Phase 3 (serial): ordered reduction, billed to its own meter.
+	mergeCtx := &exec.Ctx{Model: c.coord.Model, LimitSeconds: limitSeconds}
+	res, err := exec.MergePartials(coordPlan, partials, mergeCtx)
+	if err != nil {
+		if err == exec.ErrTimeout {
+			m := timeoutMeasure(sqlText, limitSeconds, insetCtx, meters)
+			c.note(m, 0, 0, false)
+			return nil, m, nil
+		}
+		return nil, engine.Measure{}, err
+	}
+
+	var slowest float64
+	total := insetCtx.Meter
+	for i := range meters {
+		if s := meters[i].Seconds(); s > slowest {
+			slowest = s
+		}
+		total.Add(meters[i].Meter)
+	}
+	total.Add(mergeCtx.Meter)
+	serial := insetCtx.Seconds() + mergeCtx.Seconds()
+	m := engine.Measure{SQL: sqlText, Seconds: serial + slowest, Meter: total}
+	if limitSeconds > 0 && m.Seconds > limitSeconds {
+		m.TimedOut = true
+		m.Seconds = limitSeconds
+	}
+	c.note(m, slowest*float64(nShards), serial, false)
+	return res, m, nil
+}
+
+// note folds one query's cost split into the counters.
+func (c *Cluster) note(m engine.Measure, parallelWork, serialSeconds float64, fallback bool) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	c.st.Queries++
+	if fallback {
+		c.st.Fallbacks++
+	}
+	if m.TimedOut {
+		c.st.Timeouts++
+	}
+	c.st.SerialSeconds += serialSeconds
+	c.st.ParallelWork += parallelWork
+}
+
+// timeoutMeasure assembles the measure for a hard partition/merge
+// timeout: no result, billed at the limit, meters summed for
+// observability.
+func timeoutMeasure(sqlText string, limit float64, insetCtx *exec.Ctx, meters []exec.Ctx) engine.Measure {
+	total := insetCtx.Meter
+	for i := range meters {
+		total.Add(meters[i].Meter)
+	}
+	return engine.Measure{SQL: sqlText, Seconds: limit, TimedOut: true, Meter: total}
+}
+
+// PredictSeconds is the autoscaler's Amdahl model: mean per-query cost
+// at a hypothetical shard count, from the observed serial/parallel work
+// split. Returns 0 until a query has been measured.
+func (c *Cluster) PredictSeconds(targetShards int) float64 {
+	if targetShards < 1 {
+		targetShards = 1
+	}
+	c.statMu.Lock()
+	st := c.st
+	c.statMu.Unlock()
+	if st.Queries == 0 {
+		return 0
+	}
+	q := float64(st.Queries)
+	return st.SerialSeconds/q + st.ParallelWork/q/float64(targetShards)
+}
+
+// designate picks the partitioned table for a query: the largest base
+// table (coordinator row count) referenced exactly once in FROM; ties
+// break to the lowest table ordinal. Self-joined tables are ineligible —
+// both sides would read the same partition and lose cross-partition
+// pairs — as are views. Returns false when no table qualifies.
+func designate(q *sql.Query, phys *plan.Physical) (string, bool) {
+	refs := make(map[string]int, len(q.Tables))
+	for _, t := range q.Tables {
+		refs[strings.ToLower(t.Table.Name)]++
+	}
+	best := ""
+	var bestRows int64 = -1
+	for _, t := range q.Tables {
+		name := strings.ToLower(t.Table.Name)
+		if refs[name] != 1 {
+			continue
+		}
+		ti := phys.Tables[name]
+		if ti == nil {
+			continue
+		}
+		if rows := ti.Heap.NumRows(); rows > bestRows {
+			best, bestRows = name, rows
+		}
+	}
+	return best, best != ""
+}
+
+// planUsesView reports whether any operator in the tree reads a
+// materialized view.
+func planUsesView(n plan.Node) bool {
+	switch n := n.(type) {
+	case *plan.ViewScan:
+		return true
+	case *plan.HashJoin:
+		return planUsesView(n.Build) || planUsesView(n.Probe)
+	case *plan.IndexJoin:
+		return planUsesView(n.Outer)
+	case *plan.HashAgg:
+		return planUsesView(n.Input)
+	case *plan.Project:
+		return planUsesView(n.Input)
+	}
+	return false
+}
+
+// hybridPhysical assembles the physical description one partition plans
+// against: the designated table (data, stats and indexes) from the
+// partition engine; every other table from the coordinator; no views
+// (view-reading plans never reach here). View-relation index lists are
+// dropped with the views.
+func hybridPhysical(coord, shard *plan.Physical, designated string) *plan.Physical {
+	h := &plan.Physical{
+		Schema:  coord.Schema,
+		Tables:  make(map[string]*plan.TableInfo, len(coord.Tables)),
+		Indexes: make(map[string][]*plan.IndexInfo, len(coord.Indexes)),
+		Mem:     coord.Mem,
+		Model:   coord.Model,
+	}
+	for name, ti := range coord.Tables {
+		h.Tables[name] = ti
+	}
+	h.Tables[designated] = shard.Tables[designated]
+	for name, ixs := range coord.Indexes {
+		if coord.Schema.Table(name) == nil {
+			continue // view index: dropped with the view
+		}
+		h.Indexes[name] = ixs
+	}
+	h.Indexes[designated] = shard.Indexes[designated]
+	return h
+}

@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/conf"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/exec"
+)
+
+// testCoord builds a small NREF coordinator with the 1C configuration
+// applied, so partitions carry real single-column B+-trees.
+func testCoord(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(catalog.NREF(), 0.0001, engine.SystemB())
+	if err := datagen.GenerateNREF(e, datagen.NREFOptions{ScaleFactor: 0.0001, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	e.CollectStats()
+	if _, err := e.ApplyConfig(engine.OneColumnConfiguration(e)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// clusterQueries exercise single tables, selections, self-joins (the
+// serial-fallback path), 2- and 3-way joins, IN subqueries and every
+// aggregate kind.
+var clusterQueries = []string{
+	`SELECT t.lineage, COUNT(DISTINCT t2.nref_id)
+	 FROM source s, taxonomy t, taxonomy t2
+	 WHERE t.nref_id = s.nref_id AND t.lineage = t2.lineage
+	   AND s.p_name = 'Simian Virus 40'
+	 GROUP BY t.lineage`,
+	`SELECT t.taxon_id, COUNT(*)
+	 FROM taxonomy t, organism o
+	 WHERE t.nref_id = o.nref_id AND t.nref_id = 'NF0000041'
+	 GROUP BY t.taxon_id`,
+	`SELECT taxon_id, COUNT(*) FROM taxonomy GROUP BY taxon_id`,
+	`SELECT p_name, length FROM protein WHERE length < 100`,
+	`SELECT o.name, COUNT(*) FROM organism o, taxonomy t
+	 WHERE o.taxon_id = t.taxon_id AND o.ordinal = 7 GROUP BY o.name`,
+	`SELECT r.taxon_id, COUNT(*) FROM taxonomy r, organism s
+	 WHERE r.nref_id = s.nref_id
+	   AND r.nref_id IN (SELECT nref_id FROM taxonomy GROUP BY nref_id HAVING COUNT(*) < 4)
+	   AND s.nref_id IN (SELECT nref_id FROM organism GROUP BY nref_id HAVING COUNT(*) < 4)
+	 GROUP BY r.taxon_id`,
+	`SELECT source, MIN(taxon_id), MAX(taxon_id), SUM(p_id), AVG(p_id), COUNT(p_id)
+	 FROM source GROUP BY source`,
+	// Purely self-joined FROM list: no partitionable table, coordinator
+	// fallback must still be byte-identical at every topology.
+	`SELECT t.taxon_id, COUNT(*) FROM taxonomy t, taxonomy t2
+	 WHERE t.nref_id = t2.nref_id GROUP BY t.taxon_id`,
+}
+
+// render canonicalizes a result for byte comparison.
+func render(res *exec.Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Cols, ","))
+	sb.WriteByte('\n')
+	for _, r := range res.Rows {
+		sb.WriteString(r.Key())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestResultsByteIdenticalAcrossTopologies is the core determinism
+// claim: every query's result is byte-identical at shard counts
+// {1,2,4,8} × pool widths {1,4,16}, in both partitioning modes, and a
+// fixed topology's simulated cost does not depend on the pool width.
+func TestResultsByteIdenticalAcrossTopologies(t *testing.T) {
+	coord := testCoord(t)
+	base, err := New(coord, Spec{Shards: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(clusterQueries))
+	for i, q := range clusterQueries {
+		res, _, err := base.Run(q, 0)
+		if err != nil {
+			t.Fatalf("baseline query %d: %v", i, err)
+		}
+		want[i] = render(res)
+	}
+
+	for _, mode := range []Mode{ModeHash, ModeRange} {
+		for _, n := range []int{2, 4, 8} {
+			cl, err := New(coord, Spec{Shards: n, Mode: mode}, 1)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", mode, n, err)
+			}
+			secs := make([]float64, len(clusterQueries))
+			for _, pool := range []int{1, 4, 16} {
+				cl.SetPool(pool)
+				for i, q := range clusterQueries {
+					res, m, err := cl.Run(q, 0)
+					if err != nil {
+						t.Fatalf("%s/%d/pool%d query %d: %v", mode, n, pool, i, err)
+					}
+					if got := render(res); got != want[i] {
+						t.Errorf("%s/%d/pool%d query %d: result differs from 1-shard baseline\ngot:\n%s\nwant:\n%s",
+							mode, n, pool, i, got, want[i])
+					}
+					if pool == 1 {
+						secs[i] = m.Seconds
+					} else if m.Seconds != secs[i] {
+						t.Errorf("%s/%d query %d: seconds %v at pool %d != %v at pool 1 (simulated cost must not depend on fan-out)",
+							mode, n, i, m.Seconds, pool, secs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFallbackPaths pins the two coordinator-serial fallbacks: plans
+// that read a materialized view, and queries with no partitionable
+// table. Both count as fallbacks and still match the engine's own
+// execution bytes.
+func TestFallbackPaths(t *testing.T) {
+	// System C is the profile that plans over materialized views. The
+	// configuration holds ONLY the view and its index, so the view is the
+	// sole access structure and the optimizer must pick it for the
+	// selective lookup.
+	coord := engine.New(catalog.NREF(), 0.0001, engine.SystemC())
+	if err := datagen.GenerateNREF(coord, datagen.NREFOptions{ScaleFactor: 0.0001, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	coord.CollectStats()
+	cfg := conf.Configuration{Name: "view-only"}
+	cfg.Views = append(cfg.Views, conf.ViewDef{
+		Name:       "v_tax",
+		SQL:        "SELECT nref_id, taxon_id, lineage FROM taxonomy",
+		BaseTables: []string{"taxonomy"},
+	})
+	cfg.AddIndex(conf.IndexDef{Table: "v_tax", Columns: []string{"c0", "c1"}})
+	if _, err := coord.ApplyConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(coord, Spec{Shards: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	selfJoin := `SELECT t.taxon_id, COUNT(*) FROM taxonomy t, taxonomy t2
+	 WHERE t.nref_id = t2.nref_id GROUP BY t.taxon_id`
+	viewQ := `SELECT taxon_id, COUNT(*) FROM taxonomy WHERE nref_id = 'NF0000041' GROUP BY taxon_id`
+
+	for _, q := range []string{selfJoin, viewQ} {
+		wantRes, wantM, err := coord.Run(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, gotM, err := cl.Run(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(gotRes) != render(wantRes) {
+			t.Errorf("fallback result differs from engine for %q", q)
+		}
+		if gotM.Seconds != wantM.Seconds {
+			t.Errorf("fallback seconds %v != engine seconds %v for %q", gotM.Seconds, wantM.Seconds, q)
+		}
+	}
+	if st := cl.Stats(); st.Fallbacks != 2 {
+		t.Errorf("Fallbacks = %d, want 2", st.Fallbacks)
+	}
+}
+
+// TestTransitionPropagates checks that a configuration change reaches
+// the partitions (base-table structures only) and results stay identical
+// afterwards.
+func TestTransitionPropagates(t *testing.T) {
+	coord := testCoord(t)
+	cl, err := New(coord, Spec{Shards: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := clusterQueries[1]
+	before, _, err := cl.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := engine.PConfiguration(coord)
+	if _, err := cl.Transition(target); err != nil {
+		t.Fatal(err)
+	}
+	cl.mu.RLock()
+	shards := cl.shards
+	cl.mu.RUnlock()
+	for i, sh := range shards {
+		if got := len(sh.Current().Indexes); got != len(baseOnly(coord.Schema, target).Indexes) {
+			t.Errorf("shard %d has %d indexes after transition", i, got)
+		}
+	}
+	after, _, err := cl.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(before) != render(after) {
+		t.Error("result changed across Transition (indexes must not affect results)")
+	}
+}
+
+// TestReshardLive checks resharding swaps topologies without changing
+// results, and rejects invalid counts.
+func TestReshardLive(t *testing.T) {
+	coord := testCoord(t)
+	cl, err := New(coord, Spec{Shards: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := clusterQueries[0]
+	before, _, err := cl.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Reshard(0); err == nil {
+		t.Error("Reshard(0) succeeded, want error")
+	}
+	if err := cl.Reshard(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d after Reshard(8)", got)
+	}
+	after, _, err := cl.Run(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(before) != render(after) {
+		t.Error("result changed across Reshard")
+	}
+	if st := cl.Stats(); st.Reshards != 1 {
+		t.Errorf("Reshards = %d, want 1", st.Reshards)
+	}
+}

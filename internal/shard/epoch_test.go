@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestReshardInvalidatesWhatIfCache is the pinned regression test for
+// the satellite fix: a reshard (or any scale transition) must bump the
+// coordinator's configEpoch so that cached H estimates never survive a
+// topology change. Before the fix, a what-if session warmed before a
+// reshard would keep serving relevance-cache hits afterwards.
+func TestReshardInvalidatesWhatIfCache(t *testing.T) {
+	coord := testCoord(t)
+	cl, err := New(coord, Spec{Shards: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := coord.AnalyzeSQL(clusterQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := coord.NewWhatIf()
+	hypo := engine.PConfiguration(coord)
+	cold, err := w.Estimate(q, hypo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm: the second estimate must be a relevance-cache hit.
+	engine.ResetWhatIfCounters()
+	warm, err := w.Estimate(q, hypo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls, hits := engine.WhatIfCounters(); calls != 1 || hits != 1 {
+		t.Fatalf("warm estimate: calls=%d hits=%d, want 1/1", calls, hits)
+	}
+	if warm.Seconds != cold.Seconds {
+		t.Fatalf("warm estimate %v != cold %v", warm.Seconds, cold.Seconds)
+	}
+
+	// Reshard, then estimate again: the topology change must have
+	// invalidated the session (a miss), while the value itself is
+	// unchanged — the coordinator's data never moves.
+	if err := cl.Reshard(4); err != nil {
+		t.Fatal(err)
+	}
+	engine.ResetWhatIfCounters()
+	after, err := w.Estimate(q, hypo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls, hits := engine.WhatIfCounters(); calls != 1 || hits != 0 {
+		t.Fatalf("post-reshard estimate: calls=%d hits=%d, want a miss (1/0)", calls, hits)
+	}
+	if after.Seconds != cold.Seconds {
+		t.Fatalf("post-reshard estimate %v != cold %v (coordinator data is unchanged)", after.Seconds, cold.Seconds)
+	}
+
+	// SetPool is topology-neutral: no invalidation.
+	engine.ResetWhatIfCounters()
+	cl.SetPool(8)
+	if _, err := w.Estimate(q, hypo); err != nil {
+		t.Fatal(err)
+	}
+	if calls, hits := engine.WhatIfCounters(); calls != 1 || hits != 1 {
+		t.Fatalf("post-SetPool estimate: calls=%d hits=%d, want a hit (1/1)", calls, hits)
+	}
+}

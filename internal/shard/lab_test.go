@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// TestFiveFamiliesByteIdenticalAcrossTopologies closes the determinism
+// net over the paper's benchmark surface: for every query family on all
+// three databases, results AND the coordinator-side goal report are
+// byte-identical when served at 1, 2, 4 and 8 shards. Goal reports
+// derive from the estimates E, which always read the full coordinator
+// data — resharding must never perturb them.
+func TestFiveFamiliesByteIdenticalAcrossTopologies(t *testing.T) {
+	lab := bench.NewLab(0.0001, 7)
+	lab.WorkloadSize = 6
+	goal := core.Example2Goal()
+
+	for _, family := range []string{"NREF2J", "NREF3J", "SkTH3J", "SkTH3Js", "UnTH3J"} {
+		db, err := bench.DBOfFamily(family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord := lab.Engine("B", db)
+		sqls := lab.Workload("B", family).SQLs()
+		if len(sqls) == 0 {
+			t.Fatalf("%s: empty workload", family)
+		}
+
+		// goalReport renders the family's estimate-derived goal ledger.
+		goalReport := func() string {
+			ms := make([]core.Measure, len(sqls))
+			for i, q := range sqls {
+				m, err := coord.Estimate(q)
+				if err != nil {
+					t.Fatalf("%s: estimate %d: %v", family, i, err)
+				}
+				ms[i] = core.Measure{Seconds: m.Seconds, TimedOut: m.TimedOut}
+			}
+			return strconv.FormatFloat(goal.Satisfaction(core.NewCFC(ms, 0)), 'f', 6, 64)
+		}
+
+		base, err := New(coord, Spec{Shards: 1}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		want := make([]string, len(sqls))
+		for i, q := range sqls {
+			res, _, err := base.Run(q, 0)
+			if err != nil {
+				t.Fatalf("%s: baseline query %d: %v", family, i, err)
+			}
+			want[i] = render(res)
+		}
+		wantGoal := goalReport()
+
+		for _, n := range []int{2, 4, 8} {
+			cl, err := New(coord, Spec{Shards: n}, 4)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", family, n, err)
+			}
+			for i, q := range sqls {
+				res, _, err := cl.Run(q, 0)
+				if err != nil {
+					t.Fatalf("%s/%d: query %d: %v", family, n, i, err)
+				}
+				if got := render(res); got != want[i] {
+					t.Errorf("%s/%d: query %d result differs from 1-shard baseline", family, n, i)
+				}
+			}
+			if got := goalReport(); got != wantGoal {
+				t.Errorf("%s/%d: goal report %s differs from baseline %s", family, n, got, wantGoal)
+			}
+		}
+	}
+}
