@@ -27,11 +27,14 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # conflint enforces the repo's concurrency & determinism invariants at
-# the source level (see "Invariants & static analysis" in README.md).
-# Exits nonzero on any finding; the per-rule counts land in
-# BENCH_conflint.json.
+# the source level (see "Invariants & static analysis" in README.md),
+# including the v3 interprocedural analyzers (epoch, dettaint,
+# shutdownpath). The committed baseline is empty — every rule must run
+# clean — and a malformed baseline fails the run rather than silently
+# suppressing nothing. Per-analyzer wall, fixpoint iteration counts and
+# the sequential-vs-parallel lint wall land in BENCH_conflint.json.
 lint:
-	$(GO) run ./cmd/conflint -bench-json BENCH_conflint.json ./...
+	$(GO) run ./cmd/conflint -baseline baseline.empty.json -bench-json BENCH_conflint.json ./...
 
 # Same run, but each finding prints the offending line and a suggested
 # edit.

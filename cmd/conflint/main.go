@@ -15,18 +15,24 @@
 // A baseline file (-baseline) suppresses known findings so the tool can be
 // adopted on a codebase that is not yet clean. Entries are keyed by
 // rule+package+symbol — never line numbers — so unrelated edits in a file do
-// not invalidate the baseline. This repository's end state is an empty
-// baseline: every rule runs clean with no suppressions.
+// not invalidate the baseline. Parsing is strict: a malformed baseline is a
+// load error (exit 2), never an empty suppression set. This repository's end
+// state is an empty baseline: every rule runs clean with no suppressions.
+//
+// With -bench-json, the run additionally executes the full analyzer set
+// twice — once sequentially (timing each analyzer) and once parallel over a
+// fresh parse — records both walls plus the interprocedural fixpoint
+// iteration counts, and verifies the two runs' findings are byte-identical.
 //
 // Exit status: 0 no findings, 1 findings, 2 usage or load error.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -42,13 +48,14 @@ func run() int {
 	start := time.Now()
 	fs := flag.NewFlagSet("conflint", flag.ContinueOnError)
 	var (
-		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array (lockorder findings carry their witness path)")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array (interprocedural findings carry their witness path)")
 		hints     = fs.Bool("hints", false, "lint-fix-hints mode: print the offending line and a suggested edit under each finding")
-		rules     = fs.String("rules", "", "comma-separated rule subset (default: all); names: lock, determinism, atomic, errcheck, lockorder, goleak, hotalloc")
-		benchJSON = fs.String("bench-json", "", "write a BENCH-style JSON record (finding counts per rule, callgraph size) to this file")
+		rules     = fs.String("rules", "", "comma-separated rule subset (default: all); names: lock, determinism, atomic, errcheck, lockorder, goleak, hotalloc, epoch, dettaint, shutdownpath")
+		benchJSON = fs.String("bench-json", "", "write a BENCH-style JSON record (per-rule counts and wall, fixpoint iterations, sequential-vs-parallel wall) to this file")
 		listRules = fs.Bool("list-rules", false, "print the analyzers and exit")
-		baseline  = fs.String("baseline", "", "suppress findings matching this baseline file (entries keyed rule+package+symbol)")
+		baseline  = fs.String("baseline", "", "suppress findings matching this baseline file (entries keyed rule+package+symbol; malformed files are load errors)")
 		writeBase = fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
+		parallel  = fs.Int("parallel", 0, "lint worker parallelism across packages (0 = GOMAXPROCS, 1 = sequential); findings are identical at any setting")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: conflint [flags] [packages]\n")
@@ -82,29 +89,39 @@ func run() int {
 		return 2
 	}
 
-	findings := lint.Run(m, analyzers)
+	var findings []lint.Finding
+	var bench *benchStats
+	if *benchJSON != "" {
+		findings, bench, err = benchRun(root, m, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+	} else {
+		findings = lint.RunParallel(m, analyzers, *parallel)
+	}
 	findings = filterFindings(root, findings, fs.Args())
 
 	if *writeBase != "" {
-		if err := writeBaseline(*writeBase, findings); err != nil {
+		if err := lint.WriteBaseline(*writeBase, findings); err != nil {
 			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
 			return 2
 		}
 		fmt.Fprintf(os.Stderr, "conflint: wrote %d baseline entries to %s\n",
-			len(baselineEntries(findings)), *writeBase)
+			len(lint.BaselineEntries(findings)), *writeBase)
 		return 0
 	}
 
 	baselined := 0
 	if *baseline != "" {
-		base, err := readBaseline(*baseline)
+		base, err := lint.ReadBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
 			return 2
 		}
 		kept := findings[:0]
 		for _, f := range findings {
-			if base[baselineKey(f.Rule, f.Package, f.Symbol)] {
+			if base[lint.BaselineKey(f.Rule, f.Package, f.Symbol)] {
 				baselined++
 				continue
 			}
@@ -114,7 +131,7 @@ func run() int {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBench(*benchJSON, m, analyzers, findings); err != nil {
+		if err := writeBench(*benchJSON, m, analyzers, findings, bench); err != nil {
 			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
 			return 2
 		}
@@ -139,6 +156,49 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// benchStats is the extra instrumentation a -bench-json run records.
+type benchStats struct {
+	seqWall   time.Duration
+	parWall   time.Duration
+	perRule   map[string]time.Duration
+	fixIters  map[string]int
+	identical bool
+}
+
+// benchRun executes the analyzers twice — sequentially on m (timing each
+// analyzer) and in parallel on a fresh parse — and checks the rendered
+// findings are byte-identical. The sequential findings are returned as
+// the run's result.
+func benchRun(root string, m *lint.Module, analyzers []*lint.Analyzer) ([]lint.Finding, *benchStats, error) {
+	t0 := time.Now()
+	seqF, perRule := lint.RunTimed(m, analyzers)
+	seqWall := time.Since(t0)
+
+	m2, err := lint.LoadModule(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	t1 := time.Now()
+	parF := lint.RunParallel(m2, analyzers, 0)
+	parWall := time.Since(t1)
+
+	seqJSON, err := lint.RenderJSON(m, seqF)
+	if err != nil {
+		return nil, nil, err
+	}
+	parJSON, err := lint.RenderJSON(m2, parF)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seqF, &benchStats{
+		seqWall:   seqWall,
+		parWall:   parWall,
+		perRule:   perRule,
+		fixIters:  m.FixpointIters(),
+		identical: seqJSON == parJSON,
+	}, nil
 }
 
 // moduleRoot walks upward from the working directory to the go.mod.
@@ -194,70 +254,9 @@ func matchPattern(relDir, pat string) bool {
 	return relDir == pat
 }
 
-// baselineEntry is one suppressed finding. Line numbers are deliberately
-// absent: a baseline keyed on positions would rot on every unrelated edit.
-type baselineEntry struct {
-	Rule    string `json:"rule"`
-	Package string `json:"package"`
-	Symbol  string `json:"symbol"`
-}
-
-func baselineKey(rule, pkg, symbol string) string {
-	return rule + "\x00" + pkg + "\x00" + symbol
-}
-
-// baselineEntries dedupes and sorts the findings into baseline form.
-func baselineEntries(fs []lint.Finding) []baselineEntry {
-	seen := make(map[string]bool, len(fs))
-	out := make([]baselineEntry, 0, len(fs))
-	for _, f := range fs {
-		k := baselineKey(f.Rule, f.Package, f.Symbol)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, baselineEntry{Rule: f.Rule, Package: f.Package, Symbol: f.Symbol})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		if a.Package != b.Package {
-			return a.Package < b.Package
-		}
-		return a.Symbol < b.Symbol
-	})
-	return out
-}
-
-func writeBaseline(path string, fs []lint.Finding) error {
-	data, err := json.MarshalIndent(baselineEntries(fs), "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-func readBaseline(path string) (map[string]bool, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var entries []baselineEntry
-	if err := json.Unmarshal(data, &entries); err != nil {
-		return nil, fmt.Errorf("baseline %s: %w", path, err)
-	}
-	out := make(map[string]bool, len(entries))
-	for _, e := range entries {
-		out[baselineKey(e.Rule, e.Package, e.Symbol)] = true
-	}
-	return out, nil
-}
-
 // writeBench records the run in the same shape as the BENCH_*.json
 // artifacts the other harnesses produce.
-func writeBench(path string, m *lint.Module, analyzers []*lint.Analyzer, fs []lint.Finding) error {
+func writeBench(path string, m *lint.Module, analyzers []*lint.Analyzer, fs []lint.Finding, bench *benchStats) error {
 	perRule := make(map[string]int)
 	for _, a := range analyzers {
 		perRule[a.Name] = 0
@@ -266,16 +265,31 @@ func writeBench(path string, m *lint.Module, analyzers []*lint.Analyzer, fs []li
 		perRule[f.Rule]++
 	}
 	nodes, edges := m.Graph().Stats()
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
 	var b strings.Builder
 	b.WriteString("{\n  \"bench\": \"conflint\",\n")
 	fmt.Fprintf(&b, "  \"findings\": %d,\n", len(fs))
+	fmt.Fprintf(&b, "  \"gomaxprocs\": %d,\n", runtime.GOMAXPROCS(0))
 	fmt.Fprintf(&b, "  \"callgraph\": {\"nodes\": %d, \"edges\": %d},\n", nodes, edges)
+	if bench != nil {
+		speedup := 0.0
+		if bench.parWall > 0 {
+			speedup = float64(bench.seqWall) / float64(bench.parWall)
+		}
+		fmt.Fprintf(&b, "  \"wall_ms\": {\"sequential\": %.3f, \"parallel\": %.3f, \"speedup\": %.2f},\n",
+			ms(bench.seqWall), ms(bench.parWall), speedup)
+		fmt.Fprintf(&b, "  \"findings_identical\": %v,\n", bench.identical)
+		writeSortedMap(&b, "fixpoint_iterations", bench.fixIters, func(v int) string { return fmt.Sprintf("%d", v) })
+		b.WriteString(",\n")
+		writeSortedMap(&b, "per_rule_wall_ms", bench.perRule, func(v time.Duration) string { return fmt.Sprintf("%.3f", ms(v)) })
+		b.WriteString(",\n")
+	}
 	b.WriteString("  \"per_rule\": {")
 	names := make([]string, 0, len(analyzers)+1)
 	for _, a := range analyzers {
 		names = append(names, a.Name)
 	}
-	if _, ok := perRule["ignore"]; ok && perRule["ignore"] > 0 {
+	if perRule["ignore"] > 0 {
 		names = append(names, "ignore")
 	}
 	for i, n := range names {
@@ -286,4 +300,22 @@ func writeBench(path string, m *lint.Module, analyzers []*lint.Analyzer, fs []li
 	}
 	b.WriteString("\n  }\n}\n")
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// writeSortedMap renders a map as a JSON object with sorted keys, so the
+// bench file is byte-stable run to run.
+func writeSortedMap[V any](b *strings.Builder, name string, m map[string]V, render func(V) string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "  %q: {", name)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%q: %s", k, render(m[k]))
+	}
+	b.WriteString("}")
 }

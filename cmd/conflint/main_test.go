@@ -18,10 +18,10 @@ func TestBaselineRoundTrip(t *testing.T) {
 		{Rule: "hotalloc", Package: "optimizer", Symbol: "search.indexJoinCands", Line: 450}, // same symbol, other line
 	}
 	path := filepath.Join(t.TempDir(), "baseline.json")
-	if err := writeBaseline(path, fs); err != nil {
+	if err := lint.WriteBaseline(path, fs); err != nil {
 		t.Fatal(err)
 	}
-	entries := baselineEntries(fs)
+	entries := lint.BaselineEntries(fs)
 	if len(entries) != 2 {
 		t.Fatalf("want 2 deduped entries, got %d: %v", len(entries), entries)
 	}
@@ -29,18 +29,18 @@ func TestBaselineRoundTrip(t *testing.T) {
 		t.Errorf("entries not sorted by rule: %v", entries)
 	}
 
-	base, err := readBaseline(path)
+	base, err := lint.ReadBaseline(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A finding at a new line with the same symbol still matches.
-	if !base[baselineKey("hotalloc", "optimizer", "search.indexJoinCands")] {
+	if !base[lint.BaselineKey("hotalloc", "optimizer", "search.indexJoinCands")] {
 		t.Error("baseline lost the hotalloc entry")
 	}
-	if !base[baselineKey("goleak", "main", "main")] {
+	if !base[lint.BaselineKey("goleak", "main", "main")] {
 		t.Error("baseline lost the goleak entry")
 	}
-	if base[baselineKey("hotalloc", "optimizer", "otherFunc")] {
+	if base[lint.BaselineKey("hotalloc", "optimizer", "otherFunc")] {
 		t.Error("baseline matches a symbol it does not contain")
 	}
 }
@@ -50,7 +50,7 @@ func TestReadBaselineRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readBaseline(path); err == nil {
+	if _, err := lint.ReadBaseline(path); err == nil {
 		t.Error("want an error for malformed baseline JSON")
 	}
 }

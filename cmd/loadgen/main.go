@@ -144,7 +144,7 @@ func run(url, tenantsFlag string, selfhost bool, configPath string, scale float6
 			return err
 		}
 		srv := &http.Server{Handler: g}
-		// conflint:worker selfhost listener lives for the whole run; the deferred srv.Shutdown below closes it last, after the gateway drain
+		// conflint:worker lifecycle=external selfhost listener lives for the whole run; the deferred srv.Shutdown below closes it last, after the gateway drain
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "loadgen: serve:", err)

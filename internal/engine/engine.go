@@ -80,16 +80,16 @@ type Engine struct {
 	statsMu sync.Mutex
 	tstats  map[string]*stats.TableStats // conflint:guardedby statsMu
 
-	current conf.Configuration           // conflint:guardedby mu
-	indexes map[string][]*plan.IndexInfo // conflint:guardedby mu (keyed by lower-case relation name)
-	views   []*plan.ViewInfo             // conflint:guardedby mu
+	current conf.Configuration           // conflint:guardedby mu conflint:epoch
+	indexes map[string][]*plan.IndexInfo // conflint:guardedby mu conflint:epoch (keyed by lower-case relation name)
+	views   []*plan.ViewInfo             // conflint:guardedby mu conflint:epoch
 
 	// configEpoch counts every change that can move an estimate:
 	// configuration switches, data loads and statistics collection. Open
 	// what-if sessions compare it against the epoch their caches were
 	// derived in and flush on mismatch (invalidation on RUNSTATS and
 	// Transition).
-	configEpoch int64 // conflint:guardedby mu
+	configEpoch int64 // conflint:guardedby mu conflint:epochcounter
 }
 
 // New creates an empty engine for the schema at the given data scale

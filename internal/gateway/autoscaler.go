@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/autopilot"
 	"repro/internal/core"
 	"repro/internal/shard"
 )
@@ -32,6 +33,9 @@ type autoscaler struct {
 	errored int                   // conflint:guardedby mu
 	windowN int64                 // conflint:guardedby mu (windows closed so far)
 	pending []shard.WindowMetrics // conflint:guardedby mu (closed, unevaluated)
+	// lastReport is the most recent window's full autopilot digest, the
+	// upstream form of the metrics handed to the scaling rules.
+	lastReport autopilot.WindowReport // conflint:guardedby mu
 
 	windows atomic.Int64 // windows evaluated
 
@@ -63,7 +67,7 @@ func newAutoscaler(g *Gateway, cl *shard.Cluster) *autoscaler {
 
 // start launches the scale worker.
 func (as *autoscaler) start() {
-	// conflint:worker autoscale loop; autoscaler.stop closes trigger and waits on done
+	// conflint:worker lifecycle=trigger autoscale loop; autoscaler.stop closes trigger and waits on done
 	go func() {
 		defer close(as.done)
 		for range as.trigger {
@@ -104,31 +108,45 @@ func (as *autoscaler) observe(seconds float64, timedOut, errored bool) {
 	}
 }
 
-// closeWindowLocked grades the filled window and resets it.
+// closeWindowLocked grades the filled window into the autopilot's
+// WindowReport — the same digest the batch observer produces — and
+// lowers it to shard.WindowMetrics through the ScaleMetrics bridge, so
+// the gateway's live loop and the autopilot's batch loop feed the
+// scaling rules through one code path. The report is kept for
+// observability (lastReport).
 func (as *autoscaler) closeWindowLocked() shard.WindowMetrics {
 	ms := make([]core.Measure, len(as.entries))
 	var sum float64
 	n := 0
+	timeouts := 0
 	for i, e := range as.entries {
 		ms[i] = core.Measure{Seconds: e.seconds, TimedOut: e.timedOut}
-		if !e.timedOut {
+		if e.timedOut {
+			timeouts++
+		} else {
 			sum += e.seconds
 			n++
 		}
 	}
 	as.windowN++
-	w := shard.WindowMetrics{
-		Window:     int(as.windowN),
-		Queries:    len(as.entries),
-		GoalLevel:  as.goal.Satisfaction(core.NewCFC(ms, 0)),
-		QueueDepth: as.g.queueDepth(),
+	cfc := core.NewCFC(ms, 0)
+	rep := autopilot.WindowReport{
+		Window:       int(as.windowN),
+		Queries:      len(as.entries),
+		Timeouts:     timeouts,
+		P50:          cfc.Quantile(0.50),
+		P95:          cfc.Quantile(0.95),
+		P99:          cfc.Quantile(0.99),
+		Satisfaction: as.goal.Satisfaction(cfc),
 	}
+	rep.Satisfied = rep.Satisfaction >= 1
 	if n > 0 {
-		w.MeanSeconds = sum / float64(n)
+		rep.MeanSeconds = sum / float64(n)
 	}
+	as.lastReport = rep
 	as.entries = as.entries[:0]
 	as.errored = 0
-	return w
+	return rep.ScaleMetrics(as.g.queueDepth())
 }
 
 // drain evaluates every pending window in order.

@@ -1,0 +1,51 @@
+package gateway
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAutoscalerWindowReportBridge pins the satellite contract from the
+// elastic loop rework: the gateway's autoscaler grades each closed
+// window into a full autopilot.WindowReport and the metrics handed to
+// the scaling rules are exactly that report lowered through
+// ScaleMetrics — goal level, mean latency, and window number all carry
+// over from the report, and the queue depth is the gateway's.
+func TestAutoscalerWindowReportBridge(t *testing.T) {
+	g := &Gateway{}
+	as := &autoscaler{g: g, goal: core.Example2Goal()}
+	for i := 0; i < 8; i++ {
+		as.entries = append(as.entries, windowEntry{seconds: float64(i+1) * 0.1})
+	}
+	as.entries = append(as.entries, windowEntry{seconds: 30, timedOut: true})
+
+	w := as.closeWindowLocked()
+
+	rep := as.lastReport
+	if rep.Window != 1 || rep.Queries != 9 || rep.Timeouts != 1 {
+		t.Fatalf("report header = window %d, queries %d, timeouts %d; want 1, 9, 1", rep.Window, rep.Queries, rep.Timeouts)
+	}
+	if rep.MeanSeconds <= 0 || rep.P50 <= 0 || rep.P95 < rep.P50 {
+		t.Errorf("report quantiles look unfilled: %+v", rep)
+	}
+
+	// The lowered metrics must be the report's ScaleMetrics, field for
+	// field — the one code path shared with the autopilot's batch loop.
+	want := rep.ScaleMetrics(g.queueDepth())
+	if w != want {
+		t.Errorf("closeWindowLocked() = %+v, want report.ScaleMetrics = %+v", w, want)
+	}
+	if w.GoalLevel != rep.Satisfaction {
+		t.Errorf("GoalLevel %v does not carry the report's Satisfaction %v", w.GoalLevel, rep.Satisfaction)
+	}
+	if w.MeanSeconds != rep.MeanSeconds || w.Window != rep.Window || w.Queries != rep.Queries {
+		t.Errorf("metrics %+v disagree with report %+v", w, rep)
+	}
+
+	// Closing a second window advances the sequence number.
+	as.entries = append(as.entries, windowEntry{seconds: 0.2})
+	if w2 := as.closeWindowLocked(); w2.Window != 2 {
+		t.Errorf("second window number = %d, want 2", w2.Window)
+	}
+}

@@ -205,7 +205,7 @@ func (f *Fleet) Run() (FleetReport, error) {
 	if f.opts.Sync {
 		for w := 0; w < f.opts.Workers; w++ {
 			wg.Add(1)
-			// conflint:worker indexed fan-out over the fixed schedule; joined below
+			// conflint:worker lifecycle=none indexed fan-out over the fixed schedule; joined below
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < len(f.schedule); i += f.opts.Workers {
@@ -217,7 +217,7 @@ func (f *Fleet) Run() (FleetReport, error) {
 		sessions := make(chan int)
 		for w := 0; w < f.opts.Workers; w++ {
 			wg.Add(1)
-			// conflint:worker session runner; drains the sessions channel, joined below
+			// conflint:worker lifecycle=sessions session runner; drains the sessions channel, joined below
 			go func() {
 				defer wg.Done()
 				for s := range sessions {

@@ -193,7 +193,7 @@ func New(opts Options) (*Gateway, error) {
 	if build == nil {
 		build = BuildBackend
 	}
-	// conflint:worker background catalog loader; terminates after one build and closes readyCh
+	// conflint:worker lifecycle=none background catalog loader; terminates after one build and closes readyCh
 	go g.load(build)
 	return g, nil
 }
@@ -244,7 +244,7 @@ func (g *Gateway) load(build func(Config) (*Backend, error)) {
 		t := g.tenants[name]
 		for i := 0; i < t.cfg.MaxConcurrency; i++ {
 			g.pumpWG.Add(1)
-			// conflint:worker per-tenant pump; exits when Shutdown closes the queue, joined via pumpWG
+			// conflint:worker lifecycle=queue per-tenant pump; exits when Shutdown closes the queue, joined via pumpWG
 			go g.pump(t)
 		}
 	}
@@ -565,7 +565,7 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		g.acceptMu.Unlock()
 
 		drained := make(chan struct{})
-		// conflint:worker shutdown drain waiter; signals drained and exits
+		// conflint:worker lifecycle=external shutdown drain waiter; bounded by Shutdown's ctx select, signals drained and exits
 		go func() {
 			g.drainWG.Wait()
 			close(drained)
@@ -581,7 +581,7 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 			close(g.tenants[name].queue)
 		}
 		pumps := make(chan struct{})
-		// conflint:worker shutdown pump waiter; signals pumps and exits
+		// conflint:worker lifecycle=external shutdown pump waiter; bounded by Shutdown's ctx select, signals pumps and exits
 		go func() {
 			g.pumpWG.Wait()
 			close(pumps)

@@ -47,7 +47,7 @@ func newTuner(g *Gateway, recCfg recommender.Config, whatif *engine.WhatIf, budg
 
 // start launches the retune loop.
 func (tn *tuner) start() {
-	// conflint:worker retune loop; tuner.stop closes trigger and waits on done
+	// conflint:worker lifecycle=trigger retune loop; tuner.stop closes trigger and waits on done
 	go func() {
 		defer close(tn.done)
 		for tenant := range tn.trigger {

@@ -1,0 +1,98 @@
+// Baseline files: the adoption mechanism for running conflint on a tree
+// that is not yet clean. Entries are keyed rule+package+symbol — never
+// line numbers — so a baseline survives reformatting while dying with
+// the code it described. Parsing is strict: a malformed baseline must
+// fail the run loudly, because a baseline that silently parses to
+// "suppress nothing" (or worse, JSON `null` parsing to an empty list)
+// turns a gating lint run into a no-op without anyone noticing.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry is one suppressed finding.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	Package string `json:"package"`
+	Symbol  string `json:"symbol"`
+}
+
+// BaselineKey is the suppression key of a finding.
+func BaselineKey(rule, pkg, symbol string) string {
+	return rule + "\x00" + pkg + "\x00" + symbol
+}
+
+// BaselineEntries dedupes and sorts findings into baseline form.
+func BaselineEntries(fs []Finding) []BaselineEntry {
+	seen := make(map[string]bool, len(fs))
+	out := make([]BaselineEntry, 0, len(fs))
+	for _, f := range fs {
+		k := BaselineKey(f.Rule, f.Package, f.Symbol)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, BaselineEntry{Rule: f.Rule, Package: f.Package, Symbol: f.Symbol})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Symbol < b.Symbol
+	})
+	return out
+}
+
+// WriteBaseline writes the findings' baseline entries to path.
+func WriteBaseline(path string, fs []Finding) error {
+	data, err := json.MarshalIndent(BaselineEntries(fs), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline parses and validates a baseline file into a suppression
+// set. It rejects anything but a JSON array of entries: `null`, objects,
+// and entries with missing or unknown rule names are hard errors, never
+// an empty baseline.
+func ReadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 || strings.TrimSpace(string(data)) == "null" {
+		return nil, fmt.Errorf("baseline %s: not a JSON array of entries (write one with -write-baseline)", path)
+	}
+	var entries []BaselineEntry
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	known["ignore"] = true // bare-directive findings are baselinable too
+	out := make(map[string]bool, len(entries))
+	for i, e := range entries {
+		if e.Rule == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d has no rule", path, i)
+		}
+		if !known[e.Rule] {
+			return nil, fmt.Errorf("baseline %s: entry %d has unknown rule %q (have: %s)", path, i, e.Rule, ruleNames())
+		}
+		out[BaselineKey(e.Rule, e.Package, e.Symbol)] = true
+	}
+	return out, nil
+}

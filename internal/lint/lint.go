@@ -34,6 +34,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Finding is one rule violation at one source position.
@@ -118,12 +120,23 @@ type Module struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 
-	idx     *index      // lazy resolution indexes (resolve.go)
-	atomics *atomicSets // lazy module-wide atomic-field sets (atomiccheck.go)
-	graph   *CallGraph  // lazy module-wide call graph (callgraph.go)
+	idx     *index              // lazy resolution indexes (resolve.go)
+	atomics *atomicSets         // lazy module-wide atomic-field sets (atomiccheck.go)
+	graph   *CallGraph          // lazy module-wide call graph (callgraph.go)
+	callers map[string][]string // lazy reverse call-graph edges (dataflow.go)
+	epochs  *epochSets          // lazy epoch annotation sets (epoch.go)
 	// inter caches module-wide analyzer results by rule name, so the
 	// per-package Check calls of interprocedural rules share one run.
-	inter map[string][]Finding
+	// interMu guards it: RunParallel warms the cache from worker
+	// goroutines (one per interprocedural rule, never two for the same
+	// rule), while the sequential path takes the lock uncontended.
+	interMu   sync.Mutex
+	inter     map[string][]Finding  // conflint:guardedby interMu
+	interOnce map[string]*sync.Once // conflint:guardedby interMu
+	// statMu guards fixIters, the per-rule fixpoint iteration counts
+	// (dataflow.go) reported in BENCH_conflint.json.
+	statMu   sync.Mutex
+	fixIters map[string]int // conflint:guardedby statMu
 }
 
 // Analyzer is one conflint rule.
@@ -143,10 +156,15 @@ func All() []*Analyzer {
 		LockOrder(),
 		GoLeak(),
 		HotAlloc(),
+		Epoch(),
+		DetTaint(),
+		ShutdownPath(),
 	}
 }
 
-// ByNames resolves a comma-separated rule list against All.
+// ByNames resolves a comma-separated rule list against All. Unknown,
+// empty, and duplicate names are hard errors — a typo in -rules must
+// never silently run the wrong (or the same) rule set.
 func ByNames(csv string) ([]*Analyzer, error) {
 	if csv == "" {
 		return All(), nil
@@ -155,13 +173,21 @@ func ByNames(csv string) ([]*Analyzer, error) {
 	for _, a := range All() {
 		byName[a.Name] = a
 	}
+	seen := make(map[string]bool)
 	var out []*Analyzer
 	for _, n := range strings.Split(csv, ",") {
 		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("empty rule name in %q (have: %s)", csv, ruleNames())
+		}
 		a, ok := byName[n]
 		if !ok {
 			return nil, fmt.Errorf("unknown rule %q (have: %s)", n, ruleNames())
 		}
+		if seen[n] {
+			return nil, fmt.Errorf("duplicate rule %q in %q", n, csv)
+		}
+		seen[n] = true
 		out = append(out, a)
 	}
 	return out, nil
@@ -319,57 +345,23 @@ func scanIgnores(fset *token.FileSet, f *ast.File) map[int]string {
 // directives, reports reason-less directives, and returns findings in
 // position order.
 func Run(m *Module, analyzers []*Analyzer) []Finding {
+	fs, _ := RunTimed(m, analyzers)
+	return fs
+}
+
+// RunTimed is Run, additionally reporting each analyzer's wall time
+// across the whole module (for BENCH_conflint.json).
+func RunTimed(m *Module, analyzers []*Analyzer) ([]Finding, map[string]time.Duration) {
+	walls := make(map[string]time.Duration, len(analyzers))
 	var raw []Finding
-	for _, p := range m.Pkgs {
-		for _, a := range analyzers {
+	for _, a := range analyzers {
+		t0 := time.Now()
+		for _, p := range m.Pkgs {
 			raw = append(raw, a.Check(p)...)
 		}
+		walls[a.Name] += time.Since(t0)
 	}
-	var out []Finding
-	for _, f := range raw {
-		if reason, ok := m.ignoreAt(f.File, f.Line); ok {
-			if reason != "" {
-				continue
-			}
-			// Fall through: a bare directive suppresses nothing.
-		}
-		out = append(out, f)
-	}
-	// A directive with no reason is a finding in its own right, whether
-	// or not it had anything to suppress.
-	for _, p := range m.Pkgs {
-		for _, file := range p.Files {
-			for line, reason := range file.ignores {
-				if reason == "" {
-					out = append(out, Finding{
-						Rule: "ignore", File: file.Path, Line: line, Col: 1,
-						Message: "conflint:ignore needs a reason (// conflint:ignore <why this is safe>)",
-						Hint:    "state why the finding is a false alarm, or fix the code",
-					})
-				}
-			}
-		}
-	}
-	for i := range out {
-		out[i].Package, out[i].Symbol = m.symbolAt(out[i].File, out[i].Line)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		return a.Message < b.Message
-	})
-	return out
+	return finishRun(m, raw), walls
 }
 
 // symbolAt locates a source line structurally: the import path of its

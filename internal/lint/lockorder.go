@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // LockOrder returns the interprocedural lock-ordering analyzer.
@@ -49,16 +50,32 @@ func checkLockOrder(p *Package) []Finding {
 
 // interprocFindings runs a module-wide analysis once (cached) and returns
 // the findings whose file belongs to package p, so per-package Check
-// calls never duplicate a module-level finding.
+// calls never duplicate a module-level finding. Each rule's pass runs
+// under its own sync.Once, so RunParallel can warm different rules from
+// different goroutines while per-package checks hit the warm cache.
 func (m *Module) interprocFindings(p *Package, rule string, run func(m *Module) []Finding) []Finding {
+	m.interMu.Lock()
 	if m.inter == nil {
 		m.inter = make(map[string][]Finding)
 	}
-	all, ok := m.inter[rule]
-	if !ok {
-		all = run(m)
-		m.inter[rule] = all
+	if m.interOnce == nil {
+		m.interOnce = make(map[string]*sync.Once)
 	}
+	once := m.interOnce[rule]
+	if once == nil {
+		once = new(sync.Once)
+		m.interOnce[rule] = once
+	}
+	m.interMu.Unlock()
+	once.Do(func() {
+		all := run(m)
+		m.interMu.Lock()
+		m.inter[rule] = all
+		m.interMu.Unlock()
+	})
+	m.interMu.Lock()
+	all := m.inter[rule]
+	m.interMu.Unlock()
 	inPkg := make(map[string]bool, len(p.Files))
 	for _, f := range p.Files {
 		inPkg[f.Path] = true

@@ -1,0 +1,106 @@
+// Fixture for the determinism-taint analyzer: nondeterminism sources
+// must not flow into conflint:sink report functions — through locals,
+// helper returns, struct fields, or map iteration — while sorted
+// map-collected slices and static values stay clean.
+package dettaintfix
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Render joins report lines into the artifact's bytes.
+//
+// conflint:sink fixture report
+func Render(lines []string) string {
+	return strings.Join(lines, "\n")
+}
+
+// helper builds one line inside Render's call closure.
+func helper() string {
+	return time.Now().String() // want "time.Now inside the call closure of report sink"
+}
+
+// RenderWithHeader pulls helper into the sink's closure.
+//
+// conflint:sink fixture header report
+func RenderWithHeader(lines []string) string {
+	return helper() + "\n" + Render(lines)
+}
+
+// Clean passes only static values: no finding.
+func Clean() string {
+	return Render([]string{"static", strconv.Itoa(len("x"))})
+}
+
+// BadStamp lets wall clock reach the sink through a local and an
+// unresolved stdlib call.
+func BadStamp() string {
+	stamp := time.Now().String()
+	return Render([]string{stamp}) // want "tainted value \(source: time.Now\) passed to report sink"
+}
+
+// id forwards its parameter: the summary must carry param taint through.
+func id(s string) string { return s }
+
+// BadThroughParam routes the taint through id's summary.
+func BadThroughParam() string {
+	t := time.Now().Format("15:04")
+	return Render([]string{id(t)}) // want "tainted value \(source: time.Now\) passed to report sink"
+}
+
+// BadProcs embeds a GOMAXPROCS-dependent value.
+func BadProcs() string {
+	n := runtime.GOMAXPROCS(0)
+	return Render([]string{strconv.Itoa(n)}) // want "tainted value \(source: runtime.GOMAXPROCS\) passed to report sink"
+}
+
+// BadKeys collects map keys in iteration order: the slice's order is
+// nondeterministic and reaches the sink.
+func BadKeys(m map[string]int) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return Render(ks) // want "tainted value \(source: map iteration order\) passed to report sink"
+}
+
+// GoodKeys sorts before rendering: the sort sanitizes order taint.
+func GoodKeys(m map[string]int) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return Render(ks)
+}
+
+// Report's wall field is tainted by fill and read while rendering.
+type Report struct {
+	wall  string
+	count int
+}
+
+// fill is NOT in any sink closure: the taint it plants in Report.wall
+// is only reported where it reaches rendered bytes, in write below.
+func fill(r *Report) {
+	r.wall = time.Now().String()
+	r.count = 3
+}
+
+// write renders the report struct.
+//
+// conflint:sink fixture artifact
+func write(r *Report) string {
+	return r.wall + strconv.Itoa(r.count) // want "tainted field .*Report.wall \(source: time.Now\) is read inside the call closure"
+}
+
+// Build ties the two ends of the field flow together.
+func Build() string {
+	r := &Report{}
+	fill(r)
+	return write(r)
+}

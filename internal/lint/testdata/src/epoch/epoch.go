@@ -1,0 +1,105 @@
+// Fixture for the epoch analyzer: config-bearing fields must be bumped
+// on every path before returning. Each escape route (direct bump,
+// interprocedural bump through the fixpoint, deferred bump, atomic add
+// of the counter's address, constructor exemption) sits next to the
+// violations it distinguishes itself from.
+package epochfix
+
+import "sync/atomic"
+
+type Engine struct {
+	catalog map[string]int // conflint:epoch
+	views   []string       // conflint:epoch
+	epoch   int64          // conflint:epochcounter
+}
+
+func (e *Engine) bump() { e.epoch++ }
+
+// bumpIndirect proves the summary fixpoint: it bumps only through a
+// callee, and callers of bumpIndirect must still count as bumped.
+func (e *Engine) bumpIndirect() { e.bump() }
+
+// BadWrite mutates the catalog and returns without any bump: the
+// canonical violation.
+func (e *Engine) BadWrite(k string, v int) {
+	e.catalog[k] = v // want "BadWrite writes config-bearing field .*catalog but can return without bumping"
+}
+
+// GoodDirect bumps inline after the write.
+func (e *Engine) GoodDirect(k string, v int) {
+	e.catalog[k] = v
+	e.epoch++
+}
+
+// GoodViaCallee bumps two call-graph levels down.
+func (e *Engine) GoodViaCallee(vs []string) {
+	e.views = vs
+	e.bumpIndirect()
+}
+
+// GoodDefer covers every return with a deferred bump, including the
+// early one.
+func (e *Engine) GoodDefer(k string, v int, ok bool) {
+	defer e.bump()
+	e.catalog[k] = v
+	if ok {
+		return
+	}
+	e.views = nil
+}
+
+// BadCondBump only bumps on one branch: the conditional callee becomes
+// the witness's "tried" material.
+func (e *Engine) BadCondBump(vs []string, ok bool) {
+	e.views = vs // want "BadCondBump writes config-bearing field .*views but can return without bumping"
+	if ok {
+		e.bump()
+	}
+}
+
+// maybeBump bumps on only one of its paths: not a bumper.
+func (e *Engine) maybeBump(ok bool) {
+	if ok {
+		e.bump()
+	}
+}
+
+// BadTriedBump delegates to a conditional bumper: the call is recorded
+// as "tried" witness material, and the write is still unbumped on the
+// path where maybeBump declines.
+func (e *Engine) BadTriedBump(vs []string, ok bool) {
+	e.views = vs // want "BadTriedBump writes config-bearing field .*views but can return without bumping"
+	e.maybeBump(ok)
+}
+
+// NewEngine writes fields of a locally constructed value: a constructor
+// initializes state nobody else can observe yet, so no bump is owed.
+func NewEngine() *Engine {
+	e := &Engine{catalog: make(map[string]int)}
+	e.views = []string{"v0"}
+	return e
+}
+
+// Cluster's counter is only ever touched via sync/atomic: passing its
+// address to atomic.AddInt64 counts as the bump.
+type Cluster struct {
+	spec string // conflint:epoch
+	gen  int64  // conflint:epochcounter
+}
+
+func (c *Cluster) SetSpec(s string) {
+	c.spec = s
+	atomic.AddInt64(&c.gen, 1)
+}
+
+// BadHelper shows the contract is per-function: even when every caller
+// bumps afterwards, the writing helper itself must bump before
+// returning, because any new caller could forget.
+func (c *Cluster) setSpecNoBump(s string) {
+	c.spec = s // want "setSpecNoBump writes config-bearing field .*spec but can return without bumping"
+}
+
+func (c *Cluster) Apply(s string) {
+	c.setSpecNoBump(s)
+	atomic.AddInt64(&c.gen, 1)
+}

@@ -21,7 +21,7 @@ func Leak() {
 
 // Worker is a deliberate daemon; the annotation names its lifecycle.
 func Worker() {
-	// conflint:worker fixture daemon, runs until process exit by design
+	// conflint:worker lifecycle=none fixture daemon, runs until process exit by design; the busy loop never blocks
 	go func() {
 		for {
 		}

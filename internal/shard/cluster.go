@@ -40,8 +40,8 @@ type Cluster struct {
 	reshardMu sync.Mutex
 
 	mu     sync.RWMutex
-	spec   Spec             // conflint:guardedby mu
-	shards []*engine.Engine // conflint:guardedby mu (nil for a 1-shard topology)
+	spec   Spec             // conflint:guardedby mu conflint:epoch
+	shards []*engine.Engine // conflint:guardedby mu conflint:epoch (nil for a 1-shard topology)
 	pool   int              // conflint:guardedby mu
 
 	statMu sync.Mutex
