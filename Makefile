@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmtcheck lint lint-fix-hints bench fuzz autopilot-smoke whatif-smoke gateway-smoke shard-smoke verify
+.PHONY: build test race vet fmtcheck lint lint-fix-hints lint-fix bench fuzz autopilot-smoke whatif-smoke gateway-smoke shard-smoke verify
 
 build:
 	$(GO) build ./...
@@ -28,18 +28,30 @@ fmtcheck:
 
 # conflint enforces the repo's concurrency & determinism invariants at
 # the source level (see "Invariants & static analysis" in README.md),
-# including the v3 interprocedural analyzers (epoch, dettaint,
-# shutdownpath). The committed baseline is empty — every rule must run
-# clean — and a malformed baseline fails the run rather than silently
-# suppressing nothing. Per-analyzer wall, fixpoint iteration counts and
-# the sequential-vs-parallel lint wall land in BENCH_conflint.json.
+# including the interprocedural analyzers (epoch, dettaint,
+# shutdownpath, and the v4 effect-summary rules pure and readpath).
+# Running the full twelve-rule set also arms stale-ignore detection: a
+# directive that suppresses nothing is itself a finding. The committed
+# baseline is empty — every rule must run clean — and a malformed
+# baseline fails the run rather than silently suppressing nothing.
+# Per-analyzer wall, fixpoint iteration counts, the fix-planning wall
+# and the sequential-vs-parallel lint wall land in BENCH_conflint.json;
+# the same findings land in conflint.sarif for code-scanning UIs.
 lint:
-	$(GO) run ./cmd/conflint -baseline baseline.empty.json -bench-json BENCH_conflint.json ./...
+	$(GO) run ./cmd/conflint -baseline baseline.empty.json \
+		-bench-json BENCH_conflint.json -sarif conflint.sarif ./...
 
 # Same run, but each finding prints the offending line and a suggested
 # edit.
 lint-fix-hints:
 	$(GO) run ./cmd/conflint -hints ./...
+
+# Apply every mechanical fix (hotalloc prealloc, errcheck reasoned
+# discard, sink labels, stale-ignore deletion), gofmt the touched
+# files, then re-lint to prove the fixed findings are gone and no new
+# ones appeared. Running it twice is a no-op.
+lint-fix:
+	$(GO) run ./cmd/conflint -fix ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

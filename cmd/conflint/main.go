@@ -48,10 +48,13 @@ func run() int {
 	start := time.Now()
 	fs := flag.NewFlagSet("conflint", flag.ContinueOnError)
 	var (
-		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array (interprocedural findings carry their witness path)")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array (shorthand for -format json)")
+		format    = fs.String("format", "", "output format: text (default), json, or sarif (SARIF 2.1.0)")
+		sarifOut  = fs.String("sarif", "", "additionally write a SARIF 2.1.0 log to this file (the CI code-scanning artifact)")
 		hints     = fs.Bool("hints", false, "lint-fix-hints mode: print the offending line and a suggested edit under each finding")
-		rules     = fs.String("rules", "", "comma-separated rule subset (default: all); names: lock, determinism, atomic, errcheck, lockorder, goleak, hotalloc, epoch, dettaint, shutdownpath")
-		benchJSON = fs.String("bench-json", "", "write a BENCH-style JSON record (per-rule counts and wall, fixpoint iterations, sequential-vs-parallel wall) to this file")
+		fix       = fs.Bool("fix", false, "apply suggested fixes (finding-atomic, non-overlapping), gofmt the touched files, then re-lint to prove the fixed findings are gone and no new ones appeared")
+		rules     = fs.String("rules", "", "comma-separated rule subset (default: all); names: lock, determinism, atomic, errcheck, lockorder, goleak, hotalloc, epoch, dettaint, shutdownpath, pure, readpath")
+		benchJSON = fs.String("bench-json", "", "write a BENCH-style JSON record (per-rule counts and wall, fixpoint iterations, fix-plan wall, sequential-vs-parallel wall) to this file")
 		listRules = fs.Bool("list-rules", false, "print the analyzers and exit")
 		baseline  = fs.String("baseline", "", "suppress findings matching this baseline file (entries keyed rule+package+symbol; malformed files are load errors)")
 		writeBase = fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
@@ -70,6 +73,20 @@ func run() int {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+
+	if *jsonOut && *format == "" {
+		*format = "json"
+	}
+	switch *format {
+	case "", "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "conflint: unknown -format %q (have: text, json, sarif)\n", *format)
+		return 2
+	}
+	if *fix && (*benchJSON != "" || *writeBase != "") {
+		fmt.Fprintf(os.Stderr, "conflint: -fix cannot be combined with -bench-json or -write-baseline\n")
+		return 2
 	}
 
 	analyzers, err := lint.ByNames(*rules)
@@ -112,22 +129,19 @@ func run() int {
 		return 0
 	}
 
-	baselined := 0
-	if *baseline != "" {
-		base, err := lint.ReadBaseline(*baseline)
+	findings, baselined, err := applyBaseline(findings, *baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+		return 2
+	}
+
+	if *fix {
+		code, err := runFix(root, m, analyzers, findings, fs.Args(), *baseline, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
 			return 2
 		}
-		kept := findings[:0]
-		for _, f := range findings {
-			if base[lint.BaselineKey(f.Rule, f.Package, f.Symbol)] {
-				baselined++
-				continue
-			}
-			kept = append(kept, f)
-		}
-		findings = kept
+		return code
 	}
 
 	if *benchJSON != "" {
@@ -137,14 +151,34 @@ func run() int {
 		}
 	}
 
-	if *jsonOut {
+	if *sarifOut != "" {
+		s, err := lint.RenderSARIF(m, analyzers, findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarifOut, []byte(s), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+	}
+
+	switch *format {
+	case "json":
 		out, err := lint.RenderJSON(m, findings)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
 			return 2
 		}
 		fmt.Print(out)
-	} else {
+	case "sarif":
+		out, err := lint.RenderSARIF(m, analyzers, findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			return 2
+		}
+		fmt.Print(out)
+	default:
 		fmt.Print(lint.RenderText(m, findings, *hints))
 	}
 
@@ -158,10 +192,98 @@ func run() int {
 	return 0
 }
 
+// applyBaseline drops findings matching the baseline file, returning
+// the kept findings and the suppressed count. An empty path keeps all.
+func applyBaseline(findings []lint.Finding, path string) ([]lint.Finding, int, error) {
+	if path == "" {
+		return findings, 0, nil
+	}
+	base, err := lint.ReadBaseline(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	baselined := 0
+	kept := findings[:0]
+	for _, f := range findings {
+		if base[lint.BaselineKey(f.Rule, f.Package, f.Symbol)] {
+			baselined++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, baselined, nil
+}
+
+// runFix applies the findings' suggested fixes and proves the pass
+// sound: the fixed tree is re-parsed and re-linted with the identical
+// rule set, filter, and baseline, and the result must contain exactly
+// the unfixed findings — every remaining (rule, message) pair existed
+// before, and the count dropped by the number of applied fixes. That
+// check is also what makes -fix idempotent: a second pass finds none of
+// the fixed findings to fix again.
+//
+// Exit code: 0 when no findings remain, 1 when unfixable findings
+// remain, 2 when verification fails (a fix changed analysis results in
+// an unexpected way, e.g. labeling a sink armed its closure audit).
+func runFix(root string, m *lint.Module, analyzers []*lint.Analyzer, findings []lint.Finding, patterns []string, baseline string, parallel int) (int, error) {
+	plan, err := lint.PlanFixes(m, findings)
+	if err != nil {
+		return 2, err
+	}
+	if len(plan.Applied) == 0 {
+		fmt.Fprintf(os.Stderr, "conflint: no fixable findings; %d finding(s) remain\n", len(findings))
+		if len(findings) > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if err := plan.Write(); err != nil {
+		return 2, err
+	}
+
+	m2, err := lint.LoadModule(root)
+	if err != nil {
+		return 2, err
+	}
+	after := filterFindings(root, lint.RunParallel(m2, analyzers, parallel), patterns)
+	after, _, err = applyBaseline(after, baseline)
+	if err != nil {
+		return 2, err
+	}
+
+	before := make(map[string]int, len(findings))
+	for _, f := range findings {
+		before[f.Rule+"\x00"+f.Message]++
+	}
+	fresh := 0
+	for _, f := range after {
+		k := f.Rule + "\x00" + f.Message
+		if before[k] == 0 {
+			fresh++
+			fmt.Fprintf(os.Stderr, "conflint: fix introduced: %s\n", f)
+		} else {
+			before[k]--
+		}
+	}
+	if fresh > 0 || len(after) != len(findings)-len(plan.Applied) {
+		fmt.Fprintf(os.Stderr, "conflint: fix verification failed: %d finding(s) before, %d fixed, %d after (%d new)\n",
+			len(findings), len(plan.Applied), len(after), fresh)
+		return 2, nil
+	}
+	fmt.Fprintf(os.Stderr, "conflint: applied %d fix(es) across %d file(s); %d finding(s) remain (%d fix(es) dropped for overlap)\n",
+		len(plan.Applied), len(plan.Files), len(after), len(plan.Dropped))
+	if len(after) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
 // benchStats is the extra instrumentation a -bench-json run records.
 type benchStats struct {
 	seqWall   time.Duration
 	parWall   time.Duration
+	fixWall   time.Duration
+	fixable   int
 	perRule   map[string]time.Duration
 	fixIters  map[string]int
 	identical bool
@@ -192,13 +314,47 @@ func benchRun(root string, m *lint.Module, analyzers []*lint.Analyzer) ([]lint.F
 	if err != nil {
 		return nil, nil, err
 	}
+
+	// Time the fix planner (plan only — nothing is written): the edit
+	// computation plus per-file splice-and-gofmt over every fixable
+	// finding of the run.
+	t2 := time.Now()
+	plan, err := lint.PlanFixes(m, seqF)
+	if err != nil {
+		return nil, nil, err
+	}
+	fixWall := time.Since(t2)
+
 	return seqF, &benchStats{
 		seqWall:   seqWall,
 		parWall:   parWall,
+		fixWall:   fixWall,
+		fixable:   len(plan.Applied),
 		perRule:   perRule,
 		fixIters:  m.FixpointIters(),
 		identical: seqJSON == parJSON,
 	}, nil
+}
+
+// scopeRuleKeys restricts a per-rule map to the selected analyzers (the
+// shared "effects" fixpoint is attributed to its consumers, pure and
+// readpath), so -bench-json never reports sections for unselected
+// rules.
+func scopeRuleKeys[V any](src map[string]V, analyzers []*lint.Analyzer) map[string]V {
+	allowed := make(map[string]bool, len(analyzers)+1)
+	for _, a := range analyzers {
+		allowed[a.Name] = true
+		if a.Name == "pure" || a.Name == "readpath" {
+			allowed["effects"] = true
+		}
+	}
+	out := make(map[string]V, len(src))
+	for k, v := range src {
+		if allowed[k] {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // moduleRoot walks upward from the working directory to the go.mod.
@@ -279,9 +435,10 @@ func writeBench(path string, m *lint.Module, analyzers []*lint.Analyzer, fs []li
 		fmt.Fprintf(&b, "  \"wall_ms\": {\"sequential\": %.3f, \"parallel\": %.3f, \"speedup\": %.2f},\n",
 			ms(bench.seqWall), ms(bench.parWall), speedup)
 		fmt.Fprintf(&b, "  \"findings_identical\": %v,\n", bench.identical)
-		writeSortedMap(&b, "fixpoint_iterations", bench.fixIters, func(v int) string { return fmt.Sprintf("%d", v) })
+		fmt.Fprintf(&b, "  \"fix\": {\"fixable\": %d, \"plan_wall_ms\": %.3f},\n", bench.fixable, ms(bench.fixWall))
+		writeSortedMap(&b, "fixpoint_iterations", scopeRuleKeys(bench.fixIters, analyzers), func(v int) string { return fmt.Sprintf("%d", v) })
 		b.WriteString(",\n")
-		writeSortedMap(&b, "per_rule_wall_ms", bench.perRule, func(v time.Duration) string { return fmt.Sprintf("%.3f", ms(v)) })
+		writeSortedMap(&b, "per_rule_wall_ms", scopeRuleKeys(bench.perRule, analyzers), func(v time.Duration) string { return fmt.Sprintf("%.3f", ms(v)) })
 		b.WriteString(",\n")
 	}
 	b.WriteString("  \"per_rule\": {")

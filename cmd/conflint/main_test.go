@@ -72,3 +72,37 @@ func TestMatchPattern(t *testing.T) {
 		}
 	}
 }
+
+// TestScopeRuleKeys pins the bench-section scoping contract: per-rule
+// maps only carry keys for selected rules, and the shared "effects"
+// fixpoint is attributed to its consumers (pure, readpath) — present
+// exactly when one of them is selected.
+func TestScopeRuleKeys(t *testing.T) {
+	src := map[string]int{"epoch": 3, "dettaint": 2, "effects": 5, "shutdownpath": 1}
+
+	pure, err := lint.ByNames("pure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scopeRuleKeys(src, pure)
+	if len(got) != 1 || got["effects"] != 5 {
+		t.Errorf("scope(pure) = %v; want only effects=5", got)
+	}
+
+	epoch, err := lint.ByNames("epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = scopeRuleKeys(src, epoch)
+	if len(got) != 1 || got["epoch"] != 3 {
+		t.Errorf("scope(epoch) = %v; want only epoch=3", got)
+	}
+
+	all, err := lint.ByNames("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got = scopeRuleKeys(src, all); len(got) != len(src) {
+		t.Errorf("scope(all) = %v; want every key kept", got)
+	}
+}

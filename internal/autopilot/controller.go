@@ -76,6 +76,11 @@ type controller struct {
 // for a different workload); a goal violation warrants one only if the
 // current mix has not already been tuned for — retrying an identical
 // problem would churn structures for nothing.
+//
+// conflint:pure — the controller's propose/apply split: deciding is an
+// observation of the report, and only launch (loop-goroutine-only)
+// commits state. A consider that mutated the controller could skew
+// every later window's decision.
 func (c *controller) consider(rep WindowReport) Decision {
 	mix := proportions(rep.Mix)
 	shifted := c.lastTuneMix != nil && l1Half(mix, c.lastTuneMix) > c.threshold

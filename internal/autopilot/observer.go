@@ -56,6 +56,10 @@ type WindowReport struct {
 // observer to the elastic resource loop: goal level and mean latency
 // carry over, queue depth is the caller's to supply (the autopilot's
 // batch windows have no admission queue).
+//
+// conflint:pure — lowering an observation must not adjust it: the
+// autoscaler grades this record against its goal, and a bridge that
+// mutated the report would corrupt the retune decision downstream.
 func (r WindowReport) ScaleMetrics(queueDepth float64) shard.WindowMetrics {
 	return shard.WindowMetrics{
 		Window:      r.Window,

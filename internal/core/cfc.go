@@ -140,6 +140,9 @@ type GoalStep struct {
 // smallest on the step; we therefore check CFC(X+) >= Frac... but the CFC
 // may jump inside the step, so the binding point is X itself (approached
 // from the right).
+//
+// conflint:pure — goal checking is an observation; tuners call it from
+// read paths and must be able to do so without locking or mutation.
 func (g Goal) Satisfied(c CFC) bool {
 	for _, st := range g.Steps {
 		if c.At(nextAfter(st.X)) < st.Frac {
@@ -153,6 +156,9 @@ func (g Goal) Satisfied(c CFC) bool {
 // meets, in [0, 1]. Satisfied(c) ⇔ Satisfaction(c) == 1. An online tuner
 // tracks this level per window: it degrades stepwise as a configuration
 // ages and recovers after a successful retune.
+//
+// conflint:pure — same contract as Satisfied: grading a curve against a
+// goal is effect-free by definition.
 func (g Goal) Satisfaction(c CFC) float64 {
 	if len(g.Steps) == 0 {
 		return 1

@@ -96,6 +96,9 @@ func (c Model) WithScale(scale float64) Model {
 }
 
 // Seconds returns the simulated elapsed seconds for the metered work.
+//
+// conflint:pure — pricing a meter must not touch the meter: every
+// estimate path (what-if sessions included) prices concurrently.
 func (c Model) Seconds(m *Meter) float64 {
 	s := c.Scale
 	if s == 0 {
@@ -115,6 +118,8 @@ func (c Model) Seconds(m *Meter) float64 {
 const PageSize = 4096
 
 // PagesForBytes returns the number of PageSize pages needed for n bytes.
+//
+// conflint:pure — arithmetic shared by the size estimators.
 func PagesForBytes(n int64) int64 {
 	if n <= 0 {
 		return 0

@@ -138,9 +138,35 @@ func (e *executor) accumulateAgg(n *plan.HashAgg) (map[string]*aggState, error) 
 	return groups, nil
 }
 
+// cloneAggState deep-copies one group's partial state (distinct sets
+// included) so folding can proceed without mutating the source partial:
+// MergePartials treats its inputs as read-only.
+func cloneAggState(src *aggState) *aggState {
+	dst := &aggState{
+		groupVals: src.groupVals,
+		counts:    append([]int64(nil), src.counts...),
+		sums:      append([]float64(nil), src.sums...),
+		mins:      append([]val.Value(nil), src.mins...),
+		maxs:      append([]val.Value(nil), src.maxs...),
+		distinct:  make([]map[string]bool, len(src.distinct)),
+	}
+	for i, set := range src.distinct {
+		if set == nil {
+			continue
+		}
+		d := make(map[string]bool, len(set))
+		for k := range set {
+			d[k] = true
+		}
+		dst.distinct[i] = d
+	}
+	return dst
+}
+
 // mergeAggState folds src (one partition's state for a group) into dst in
-// place. Partitions are folded in partition-index order, which fixes the
-// float-sum association; everything else is order-insensitive.
+// place; src is only read. Partitions are folded in partition-index
+// order, which fixes the float-sum association; everything else is
+// order-insensitive.
 func mergeAggState(dst, src *aggState) {
 	for i := range dst.counts {
 		first := dst.counts[i] == 0
@@ -155,12 +181,13 @@ func mergeAggState(dst, src *aggState) {
 			}
 		}
 		if src.distinct[i] != nil {
+			// Copy-on-adopt: never alias src's set into dst, where a later
+			// partition's fold would mutate it through dst.
 			if dst.distinct[i] == nil {
-				dst.distinct[i] = src.distinct[i]
-			} else {
-				for k := range src.distinct[i] {
-					dst.distinct[i][k] = true
-				}
+				dst.distinct[i] = make(map[string]bool, len(src.distinct[i]))
+			}
+			for k := range src.distinct[i] {
+				dst.distinct[i][k] = true
 			}
 		}
 	}
@@ -172,7 +199,16 @@ func mergeAggState(dst, src *aggState) {
 // partials were produced from (any partition's plan, or the
 // coordinator's: only the Query output mapping and root shape are
 // consulted). Nil partials are rejected by construction: callers must
-// pass one partial per partition.
+// pass one partial per partition. The partials themselves are read-only
+// inputs: fold states are cloned before the first in-place merge (lazily
+// — single-partition groups are adopted without copying), so the same
+// partials can be merged again or inspected afterwards.
+//
+// conflint:pure — the merge is the topology-invariance keystone: it
+// must observe the partials, not consume them, so shard counts can
+// change between (and even during, for audit re-merges) executions.
+// Billing to ctx through the fresh executor is the contract's sanctioned
+// exception: a merge prices its own work like every operator.
 func MergePartials(p *plan.Plan, parts []*Partial, ctx *Ctx) (*Result, error) {
 	e := &executor{ctx: ctx, p: p}
 	total := 0
@@ -186,6 +222,7 @@ func MergePartials(p *plan.Plan, parts []*Partial, ctx *Ctx) (*Result, error) {
 		// partitions fold in index order, so per-group results are
 		// deterministic regardless of map iteration order.
 		merged := make(map[string]*aggState)
+		cloned := make(map[string]bool)
 		keys := make([]string, 0, 64)
 		for _, part := range parts {
 			for k, st := range part.groups {
@@ -195,6 +232,11 @@ func MergePartials(p *plan.Plan, parts []*Partial, ctx *Ctx) (*Result, error) {
 					merged[k] = st
 					keys = append(keys, k)
 					continue
+				}
+				if !cloned[k] {
+					cur = cloneAggState(cur)
+					merged[k] = cur
+					cloned[k] = true
 				}
 				mergeAggState(cur, st)
 			}

@@ -271,6 +271,10 @@ func (c *Config) autoscaleGoalOf() core.Goal {
 }
 
 // goalOf resolves a tenant's goal curve.
+//
+// conflint:pure — goal resolution runs on the serve path for every
+// admitted query's grading; it must read the tenant config, never
+// rewrite it (per-tenant tuning goes through the config swap).
 func (t *TenantConfig) goalOf() core.Goal {
 	if t.Goal == "" {
 		return core.Example2Goal()

@@ -143,11 +143,16 @@ func scanSinks(m *Module) (map[string]string, []Finding) {
 					}
 					label := strings.TrimSpace(strings.TrimLeft(rest, " \t—-"))
 					if label == "" {
+						// The fix labels the sink after the function it
+						// marks — mechanical, and it arms the rule: the
+						// re-lint then audits the sink's call closure.
+						at := m.offsetOf(c.End())
 						pos := m.Fset.Position(c.Pos())
 						bare = append(bare, Finding{
 							Rule: "dettaint", File: f.Path, Line: pos.Line, Col: pos.Column,
 							Message: "conflint:sink needs a label (// conflint:sink <what this renders>)",
 							Hint:    "name the artifact this function produces",
+							Fixes:   []TextEdit{{File: f.Path, Start: at, End: at, New: " " + fn.Name.Name}},
 						})
 						continue
 					}

@@ -1,0 +1,159 @@
+// The auto-fix engine: findings for mechanically-fixable classes carry
+// byte-offset edits (Finding.Fixes), and PlanFixes turns a finding list
+// into formatted replacement file contents. The engine is deliberately
+// dumb where the analyzers are smart: an edit is a byte splice, a
+// finding's edits apply atomically or not at all, findings whose edits
+// overlap an already-accepted edit are dropped (first finding in report
+// order wins), and every touched file is run through go/format so the
+// result is gofmt-clean by construction.
+//
+// `conflint -fix` (cmd/conflint) applies the plan, re-parses the tree,
+// re-lints with the same rule set, and verifies the fixed findings are
+// gone without new ones appearing — which also makes the fix pass
+// idempotent: a second -fix finds nothing fixable.
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TextEdit is one byte-offset splice: replace file[Start:End) with New.
+// Start == End is a pure insertion. Offsets index the raw file bytes.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// FixResult is a planned fix pass: the full post-fix content of every
+// file an accepted edit touches, plus which findings made it in.
+type FixResult struct {
+	Files   map[string][]byte // path -> gofmt-formatted fixed source
+	Applied []Finding         // findings whose edits were accepted
+	Dropped []Finding         // fixable findings dropped for overlapping an accepted edit
+}
+
+// src reconstructs the file's raw source (lines was split on "\n", so
+// the join is byte-exact).
+func (f *File) src() string {
+	return strings.Join(f.lines, "\n")
+}
+
+// offsetOf converts a token position to a byte offset in its file.
+func (m *Module) offsetOf(pos token.Pos) int {
+	return m.Fset.Position(pos).Offset
+}
+
+// PlanFixes computes the fixed content for every finding that carries
+// edits. Malformed edits (unknown file, out-of-range offsets) are hard
+// errors — they indicate an analyzer bug, not a user mistake. A fix
+// whose result does not parse is likewise an error: the engine must
+// never plan a tree it cannot format.
+func PlanFixes(m *Module, fs []Finding) (*FixResult, error) {
+	res := &FixResult{Files: make(map[string][]byte)}
+	accepted := make(map[string][]TextEdit)
+	for _, f := range fs {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		ok := true
+		for _, e := range f.Fixes {
+			file := m.fileOf(e.File)
+			if file == nil {
+				return nil, fmt.Errorf("lint: [%s] fix edits unknown file %s", f.Rule, e.File)
+			}
+			if e.Start < 0 || e.End < e.Start || e.End > len(file.src()) {
+				return nil, fmt.Errorf("lint: [%s] fix edit out of range [%d,%d) in %s", f.Rule, e.Start, e.End, e.File)
+			}
+			for _, prev := range accepted[e.File] {
+				if (e.Start < prev.End && prev.Start < e.End) ||
+					(e.Start == prev.Start && e.End == prev.End) {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			res.Dropped = append(res.Dropped, f)
+			continue
+		}
+		for _, e := range f.Fixes {
+			accepted[e.File] = append(accepted[e.File], e)
+		}
+		res.Applied = append(res.Applied, f)
+	}
+	for path, edits := range accepted {
+		src := m.fileOf(path).src()
+		// Splice back to front so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		for _, e := range edits {
+			src = src[:e.Start] + e.New + src[e.End:]
+		}
+		out, err := format.Source([]byte(src))
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixed %s does not format: %w", path, err)
+		}
+		res.Files[path] = out
+	}
+	return res, nil
+}
+
+// Write persists the planned file contents to disk.
+func (r *FixResult) Write() error {
+	paths := make([]string, 0, len(r.Files))
+	for p := range r.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := os.WriteFile(p, r.Files[p], 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteCommentEdit removes a comment: the whole line (newline
+// included) when the comment stands alone on it, otherwise the comment
+// plus the spacing separating it from the code it trails.
+func (m *Module) deleteCommentEdit(file *File, pos, end token.Pos) TextEdit {
+	src := file.src()
+	start, stop := m.offsetOf(pos), m.offsetOf(end)
+	lineStart := start
+	for lineStart > 0 && src[lineStart-1] != '\n' {
+		lineStart--
+	}
+	if strings.TrimSpace(src[lineStart:start]) == "" {
+		if stop < len(src) && src[stop] == '\n' {
+			stop++
+		}
+		return TextEdit{File: file.Path, Start: lineStart, End: stop}
+	}
+	for start > lineStart && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	return TextEdit{File: file.Path, Start: start, End: stop}
+}
+
+// appendLineCommentEdit builds an insertion of text at the end of the
+// line containing end — only when nothing but whitespace follows end on
+// that line, so the insertion cannot split code or stack onto an
+// existing comment.
+func (m *Module) appendLineCommentEdit(file *File, end token.Pos, text string) (TextEdit, bool) {
+	p := m.Fset.Position(end)
+	line := file.SourceLine(p.Line)
+	if p.Column-1 > len(line) {
+		return TextEdit{}, false
+	}
+	rest := line[p.Column-1:]
+	if strings.TrimSpace(rest) != "" {
+		return TextEdit{}, false
+	}
+	at := m.offsetOf(end) + len(rest)
+	return TextEdit{File: file.Path, Start: at, End: at, New: text}, true
+}

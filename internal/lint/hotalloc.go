@@ -109,12 +109,16 @@ func (m *Module) hotAllocFn(fd *funcDecl, key string) []Finding {
 	fset := m.Fset
 	short := m.shortKey(key)
 	var out []Finding
-	report := func(pos token.Pos, msg, hint string) {
+	report := func(pos token.Pos, msg, hint string, fixes ...[]TextEdit) {
 		pp := fset.Position(pos)
-		out = append(out, Finding{
+		fnd := Finding{
 			Rule: "hotalloc", File: pp.Filename, Line: pp.Line, Col: pp.Column,
 			Message: msg, Hint: hint,
-		})
+		}
+		if len(fixes) > 0 {
+			fnd.Fixes = fixes[0]
+		}
+		out = append(out, fnd)
 	}
 
 	goLits := make(map[*ast.FuncLit]bool)
@@ -127,29 +131,31 @@ func (m *Module) hotAllocFn(fd *funcDecl, key string) []Finding {
 		return true
 	})
 
-	var walk func(n ast.Node, depth int)
-	walk = func(n ast.Node, depth int) {
+	var walk func(n ast.Node, depth int, loop *ast.RangeStmt)
+	walk = func(n ast.Node, depth int, loop *ast.RangeStmt) {
 		ast.Inspect(n, func(c ast.Node) bool {
 			if c == nil || c == n {
 				return true
 			}
 			switch s := c.(type) {
 			case *ast.ForStmt:
-				walk(s.Body, depth+1)
+				// A plain for offers no countable source: no prealloc fix
+				// inside it.
+				walk(s.Body, depth+1, nil)
 				return false
 			case *ast.RangeStmt:
-				walk(s.Body, depth+1)
+				walk(s.Body, depth+1, s)
 				return false
 			case *ast.FuncLit:
 				if depth > 0 && !goLits[s] {
 					report(s.Pos(), fmt.Sprintf("hot path %s builds a closure on every loop iteration", short),
-						"hoist the function literal out of the loop (or pass the varying values as arguments)")
+						"hoist the function literal out of the loop (or pass the varying values as arguments)", nil)
 				}
 				// Allocations inside the literal body run when the
 				// literal runs, not per enclosing iteration — and its
 				// own loops are walked via the call graph when the
 				// literal is attributed to this declaration.
-				walk(s.Body, 0)
+				walk(s.Body, 0, nil)
 				return false
 			case *ast.CallExpr:
 				if depth > 0 && isSprintf(f, s) {
@@ -159,7 +165,8 @@ func (m *Module) hotAllocFn(fd *funcDecl, key string) []Finding {
 				if depth > 0 {
 					if name, pos, ok := m.bareAppend(p, f, fn, s); ok {
 						report(pos, fmt.Sprintf("hot path %s appends to %s inside a loop, but %s was declared without capacity", short, name, name),
-							fmt.Sprintf("preallocate: %s := make([]T, 0, n) before the loop", name))
+							fmt.Sprintf("preallocate: %s := make([]T, 0, n) before the loop", name),
+							m.preallocFix(p, f, fn, name, loop))
 					}
 				}
 			case *ast.AssignStmt:
@@ -171,8 +178,95 @@ func (m *Module) hotAllocFn(fd *funcDecl, key string) []Finding {
 			return true
 		})
 	}
-	walk(fn.Body, 0)
+	walk(fn.Body, 0, nil)
 	return out
+}
+
+// preallocFix builds the edit preallocating a capacity-less local slice
+// to the enclosing range loop's element count: the innermost loop must
+// range over a simple variable or field chain (no calls, not the slice
+// itself) whose type supports len, and the declaration must precede the
+// loop. Covers the three capacity-less shapes bareAppend admits:
+// `var x []T`, `x := []T{}`, `x := make([]T, 0)`.
+func (m *Module) preallocFix(p *Package, f *File, fn *ast.FuncDecl, name string, loop *ast.RangeStmt) []TextEdit {
+	if loop == nil || !simpleRangeSrc(loop.X, name) {
+		return nil
+	}
+	if !lenCapable(m, p, f, fn, loop.X) {
+		return nil
+	}
+	srcText := exprString(m.Fset, loop.X)
+	init, spec, found := localSliceDecl(fn.Body, name)
+	if !found {
+		return nil
+	}
+	var declNode ast.Node = spec
+	if init != nil {
+		declNode = init
+	}
+	if declNode == nil || declNode.End() >= loop.Pos() {
+		return nil
+	}
+	switch e := init.(type) {
+	case nil: // var x []T
+		if spec == nil || len(spec.Names) != 1 || len(spec.Values) != 0 {
+			return nil
+		}
+		at, ok := spec.Type.(*ast.ArrayType)
+		if !ok || at.Len != nil {
+			return nil
+		}
+		return []TextEdit{{
+			File:  f.Path,
+			Start: m.offsetOf(spec.Pos()),
+			End:   m.offsetOf(spec.End()),
+			New:   fmt.Sprintf("%s = make(%s, 0, len(%s))", name, exprString(m.Fset, spec.Type), srcText),
+		}}
+	case *ast.CompositeLit: // x := []T{}
+		if _, isSlice := e.Type.(*ast.ArrayType); !isSlice {
+			return nil
+		}
+		return []TextEdit{{
+			File:  f.Path,
+			Start: m.offsetOf(e.Pos()),
+			End:   m.offsetOf(e.End()),
+			New:   fmt.Sprintf("make(%s, 0, len(%s))", exprString(m.Fset, e.Type), srcText),
+		}}
+	case *ast.CallExpr: // x := make([]T, 0)
+		if len(e.Args) != 2 {
+			return nil
+		}
+		at := m.offsetOf(e.Rparen)
+		return []TextEdit{{File: f.Path, Start: at, End: at, New: fmt.Sprintf(", len(%s)", srcText)}}
+	}
+	return nil
+}
+
+// simpleRangeSrc admits range sources safe to mention inside a len():
+// an identifier or a selector chain of identifiers, not naming the
+// slice being grown (evaluating them twice is free and effectless).
+func simpleRangeSrc(e ast.Expr, avoid string) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name != avoid
+	case *ast.SelectorExpr:
+		return simpleRangeSrc(x.X, avoid)
+	}
+	return false
+}
+
+// lenCapable reports whether the expression's resolved type supports
+// len(): a slice, array, map, or string. Unresolvable types are not
+// fixable (conservative).
+func lenCapable(m *Module, p *Package, f *File, fn *ast.FuncDecl, e ast.Expr) bool {
+	t := m.Underlying(m.TypeOf(p, f, fn, e))
+	switch u := t.Expr.(type) {
+	case *ast.ArrayType, *ast.MapType:
+		return true
+	case *ast.Ident:
+		return u.Name == "string"
+	}
+	return false
 }
 
 // isSprintf matches fmt.Sprintf (and Sprint/Sprintln) calls.
@@ -244,7 +338,7 @@ func (m *Module) bareAppend(p *Package, f *File, fn *ast.FuncDecl, call *ast.Cal
 	if !isIdent {
 		return "", 0, false
 	}
-	decl, declared := localSliceDecl(fn.Body, target.Name)
+	decl, _, declared := localSliceDecl(fn.Body, target.Name)
 	if !declared || preallocated(decl) {
 		return "", 0, false
 	}
@@ -252,9 +346,10 @@ func (m *Module) bareAppend(p *Package, f *File, fn *ast.FuncDecl, call *ast.Cal
 }
 
 // localSliceDecl finds how a local name is first declared, returning the
-// initializer expression (nil for `var x []T` with no value) and whether
-// a slice-shaped declaration was found at all.
-func localSliceDecl(body *ast.BlockStmt, name string) (init ast.Expr, found bool) {
+// initializer expression (nil for `var x []T` with no value), the
+// ValueSpec when declared by one (for -fix rewrites), and whether a
+// slice-shaped declaration was found at all.
+func localSliceDecl(body *ast.BlockStmt, name string) (init ast.Expr, spec *ast.ValueSpec, found bool) {
 	done := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if done {
@@ -272,6 +367,7 @@ func localSliceDecl(body *ast.BlockStmt, name string) (init ast.Expr, found bool
 				if i < len(s.Values) {
 					init = s.Values[i]
 				}
+				spec = s
 				found, done = true, true
 				return false
 			}
@@ -303,7 +399,7 @@ func localSliceDecl(body *ast.BlockStmt, name string) (init ast.Expr, found bool
 		}
 		return true
 	})
-	return init, found
+	return init, spec, found
 }
 
 // preallocated reports whether a slice initializer reserves capacity:

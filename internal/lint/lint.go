@@ -57,6 +57,11 @@ type Finding struct {
 	// Witness, for interprocedural findings, is the step-by-step path
 	// that realizes the violation (lockorder cycle edges).
 	Witness []string `json:"witness,omitempty"`
+	// Fixes, when non-empty, is a machine-applicable suggested fix: a
+	// set of byte-offset edits that together resolve the finding
+	// (fix.go applies them under `conflint -fix`). Edits within one
+	// finding are applied atomically or not at all.
+	Fixes []TextEdit `json:"fixes,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -69,9 +74,9 @@ type File struct {
 	AST  *ast.File
 	// lines is the raw source split by newline, for -hints output.
 	lines []string
-	// ignores maps a directive's own line number to its reason. A
+	// ignores maps a directive's own line number to the directive. A
 	// directive suppresses findings on its line and the line below.
-	ignores map[int]string
+	ignores map[int]*ignoreInfo
 	// parents maps every AST node to its parent, built on demand.
 	parents map[ast.Node]ast.Node
 }
@@ -137,6 +142,33 @@ type Module struct {
 	// (dataflow.go) reported in BENCH_conflint.json.
 	statMu   sync.Mutex
 	fixIters map[string]int // conflint:guardedby statMu
+	// eff is the module-wide effect-summary state (effects.go), built
+	// once under effOnce and shared by the pure and readpath rules.
+	effOnce sync.Once
+	eff     *effectState
+	// usedMu guards usedIgnores: "path:line" of every ignore directive
+	// that actually suppressed a finding this run. Most suppression
+	// happens in finishRun, but shutdownpath consumes directives at
+	// source level during its module pass and records them here.
+	usedMu      sync.Mutex
+	usedIgnores map[string]bool // conflint:guardedby usedMu
+}
+
+// noteIgnoreUsed records that the directive at path:line suppressed a
+// finding (stale-ignore detection reads the set in finishRun).
+func (m *Module) noteIgnoreUsed(path string, line int) {
+	m.usedMu.Lock()
+	defer m.usedMu.Unlock()
+	if m.usedIgnores == nil {
+		m.usedIgnores = make(map[string]bool)
+	}
+	m.usedIgnores[fmt.Sprintf("%s:%d", path, line)] = true
+}
+
+func (m *Module) ignoreUsed(path string, line int) bool {
+	m.usedMu.Lock()
+	defer m.usedMu.Unlock()
+	return m.usedIgnores[fmt.Sprintf("%s:%d", path, line)]
 }
 
 // Analyzer is one conflint rule.
@@ -159,6 +191,8 @@ func All() []*Analyzer {
 		Epoch(),
 		DetTaint(),
 		ShutdownPath(),
+		Pure(),
+		ReadPath(),
 	}
 }
 
@@ -326,15 +360,27 @@ func modulePath(gomod string) (string, error) {
 
 const ignoreDirective = "conflint:ignore"
 
-// scanIgnores collects ignore directives: comment line -> reason.
-func scanIgnores(fset *token.FileSet, f *ast.File) map[int]string {
-	out := make(map[int]string)
+// ignoreInfo is one conflint:ignore directive: its reason (empty for a
+// bare directive) and the comment's source extent, kept so `-fix` can
+// delete a directive that suppresses nothing.
+type ignoreInfo struct {
+	reason   string
+	pos, end token.Pos
+}
+
+// scanIgnores collects ignore directives by comment line.
+func scanIgnores(fset *token.FileSet, f *ast.File) map[int]*ignoreInfo {
+	out := make(map[int]*ignoreInfo)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			text = strings.TrimSpace(text)
 			if rest, ok := strings.CutPrefix(text, ignoreDirective); ok {
-				out[fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+				out[fset.Position(c.Pos()).Line] = &ignoreInfo{
+					reason: strings.TrimSpace(rest),
+					pos:    c.Pos(),
+					end:    c.End(),
+				}
 			}
 		}
 	}
@@ -361,7 +407,7 @@ func RunTimed(m *Module, analyzers []*Analyzer) ([]Finding, map[string]time.Dura
 		}
 		walls[a.Name] += time.Since(t0)
 	}
-	return finishRun(m, raw), walls
+	return finishRun(m, raw, analyzers), walls
 }
 
 // symbolAt locates a source line structurally: the import path of its
@@ -417,24 +463,21 @@ func (m *Module) symbolAt(path string, line int) (pkg, symbol string) {
 	return "", ""
 }
 
-// ignoreAt reports whether a directive covers the given line (the
-// directive's own line or the one directly above it).
-func (m *Module) ignoreAt(path string, line int) (string, bool) {
-	for _, p := range m.Pkgs {
-		for _, f := range p.Files {
-			if f.Path != path {
-				continue
-			}
-			if r, ok := f.ignores[line]; ok {
-				return r, true
-			}
-			if r, ok := f.ignores[line-1]; ok {
-				return r, true
-			}
-			return "", false
-		}
+// ignoreAt returns the directive covering the given line (a directive
+// covers its own line and the one directly below it), along with the
+// directive's own line number.
+func (m *Module) ignoreAt(path string, line int) (*ignoreInfo, int, bool) {
+	f := m.fileOf(path)
+	if f == nil {
+		return nil, 0, false
 	}
-	return "", false
+	if info, ok := f.ignores[line]; ok {
+		return info, line, true
+	}
+	if info, ok := f.ignores[line-1]; ok {
+		return info, line - 1, true
+	}
+	return nil, 0, false
 }
 
 // fileOf returns the loaded file for a path, if any.

@@ -115,8 +115,8 @@ func TestByNames(t *testing.T) {
 		t.Error("ByNames(nosuchrule) should fail")
 	}
 	all, err := ByNames("")
-	if err != nil || len(all) != 10 {
-		t.Errorf("ByNames(\"\") = %d analyzers, err %v; want 10", len(all), err)
+	if err != nil || len(all) != 12 {
+		t.Errorf("ByNames(\"\") = %d analyzers, err %v; want 12", len(all), err)
 	}
 	if _, err := ByNames("lock,lock"); err == nil || !strings.Contains(err.Error(), "duplicate rule") {
 		t.Errorf("ByNames(lock,lock) = %v; want duplicate-rule error", err)

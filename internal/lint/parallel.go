@@ -21,6 +21,8 @@ var interprocRules = map[string]bool{
 	"epoch":        true,
 	"dettaint":     true,
 	"shutdownpath": true,
+	"pure":         true,
+	"readpath":     true,
 }
 
 // Prewarm builds every lazily shared structure the analyzers read
@@ -78,31 +80,64 @@ func RunParallel(m *Module, analyzers []*Analyzer, parallelism int) []Finding {
 	for _, fs := range perPkg {
 		raw = append(raw, fs...)
 	}
-	return finishRun(m, raw)
+	return finishRun(m, raw, analyzers)
 }
 
-// finishRun applies ignore directives, reports bare directives, fills
-// structural attribution, and sorts — the shared tail of Run and
-// RunParallel.
-func finishRun(m *Module, raw []Finding) []Finding {
+// coversAllRules reports whether the selected analyzers include every
+// registered rule. Stale-ignore detection only runs then: under a rule
+// subset, a directive written for an unselected rule would look unused.
+func coversAllRules(analyzers []*Analyzer) bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for _, a := range All() {
+		if !names[a.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// finishRun applies ignore directives, reports bare and stale
+// directives, fills structural attribution, and sorts — the shared tail
+// of Run and RunParallel.
+func finishRun(m *Module, raw []Finding, analyzers []*Analyzer) []Finding {
 	var out []Finding
 	for _, f := range raw {
-		if reason, ok := m.ignoreAt(f.File, f.Line); ok {
-			if reason != "" {
+		if info, dline, ok := m.ignoreAt(f.File, f.Line); ok {
+			m.noteIgnoreUsed(f.File, dline)
+			if info.reason != "" {
 				continue
 			}
 			// Fall through: a bare directive suppresses nothing.
 		}
 		out = append(out, f)
 	}
+	staleCheck := coversAllRules(analyzers)
 	for _, p := range m.Pkgs {
 		for _, file := range p.Files {
-			for line, reason := range file.ignores {
-				if reason == "" {
+			lines := make([]int, 0, len(file.ignores))
+			for line := range file.ignores {
+				lines = append(lines, line)
+			}
+			sort.Ints(lines)
+			for _, line := range lines {
+				info := file.ignores[line]
+				if info.reason == "" {
 					out = append(out, Finding{
 						Rule: "ignore", File: file.Path, Line: line, Col: 1,
 						Message: "conflint:ignore needs a reason (// conflint:ignore <why this is safe>)",
 						Hint:    "state why the finding is a false alarm, or fix the code",
+					})
+					continue
+				}
+				if staleCheck && !m.ignoreUsed(file.Path, line) {
+					out = append(out, Finding{
+						Rule: "ignore", File: file.Path, Line: line, Col: 1,
+						Message: "conflint:ignore suppresses nothing: no rule reports a finding on this line or the line below",
+						Hint:    "delete the stale directive (conflint -fix does), or restore the code it was written for",
+						Fixes:   []TextEdit{m.deleteCommentEdit(file, info.pos, info.end)},
 					})
 				}
 			}

@@ -1,0 +1,106 @@
+// The readpath analyzer: the closing of the loop between PR 5's what-if
+// read session and the v3 epoch rule. The engine (and the shard cluster)
+// serve what-if estimation under an RLock of the mutex that guards the
+// conflint:epoch config-bearing fields — a *read session*. The contract:
+// nothing reachable while that read session is held may write an epoch
+// field. A write would mutate the very configuration the session is
+// validating its cache entries against, under a lock mode that does not
+// even exclude other readers.
+//
+// Mechanics: the guard mutexes are derived from the epoch fields' own
+// conflint:guardedby annotations (no new annotation to drift out of
+// sync); every RLock-held interval of such a mutex is a read session;
+// the effect analysis (effects.go) supplies, for every function callable
+// from a session, the set of epoch-field writes it transitively performs
+// — including writes the re-rooting could not attribute ("escaped"),
+// which are deliberately kept rather than discharged. Findings anchor at
+// the write itself, with a witness from the RLock through the call chain
+// to the write; each write position is reported once, from the first
+// session that reaches it (sessions are visited in deterministic order).
+//
+// Conservatism: deferred calls inside a session run at return time —
+// after a non-deferred RUnlock — and are skipped (a deferred RUnlock
+// extends the session to the body end, where position-based containment
+// already covers later calls); go-spawned calls are the spawned
+// goroutine's problem (and its own lock acquisition's); dynamic calls
+// contribute nothing, as everywhere in the suite.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ReadPath returns the read-session purity analyzer.
+func ReadPath() *Analyzer {
+	return &Analyzer{
+		Name:  "readpath",
+		Doc:   "functions reachable while an epoch-guarding RLock read session is held must not write conflint:epoch config-bearing fields",
+		Check: func(p *Package) []Finding { return p.Mod.interprocFindings(p, "readpath", readPathModule) },
+	}
+}
+
+func readPathModule(m *Module) []Finding {
+	es := effectsOf(m)
+	if len(es.sessions) == 0 {
+		return nil
+	}
+	g := m.Graph()
+	// Sessions come out of buildEffects in deterministic order (sorted
+	// holder keys, source-order intervals); keep that order so the
+	// first-session-wins dedup below is stable.
+	sessions := append([]readSession(nil), es.sessions...)
+	sort.SliceStable(sessions, func(i, j int) bool {
+		if sessions[i].key != sessions[j].key {
+			return sessions[i].key < sessions[j].key
+		}
+		return sessions[i].interval.start < sessions[j].interval.start
+	})
+
+	seen := make(map[token.Pos]bool) // write origins already reported
+	var out []Finding
+	report := func(s readSession, e effect, chain []string) {
+		if e.epoch.typ == "" || seen[e.pos] {
+			return
+		}
+		seen[e.pos] = true
+		pos := m.Fset.Position(e.pos)
+		witness := append([]string{
+			m.stepf(s.interval.start, "%s acquires %s via RLock (read session)", m.shortKey(s.key), m.shortKey(s.class)),
+		}, chain...)
+		out = append(out, Finding{
+			Rule: "readpath", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: fmt.Sprintf("conflint:epoch field %s.%s is written while the RLock read session on %s (held by %s) is open: a read session must not mutate the configuration it is validating against",
+				m.shortKey(e.epoch.typ), e.epoch.field, m.shortKey(s.class), m.shortKey(s.key)),
+			Hint:    "move the write out of the read session, or upgrade the session to a write lock and bump the epoch",
+			Witness: witness,
+		})
+	}
+
+	for _, s := range sessions {
+		node := g.Node(s.key)
+		if node == nil || node.Fn == nil {
+			continue
+		}
+		// Direct writes by the session holder inside the interval.
+		for _, e := range es.local[s.key] {
+			if e.epoch.typ != "" && s.interval.start < e.pos && e.pos < s.interval.end {
+				report(s, e, e.steps)
+			}
+		}
+		// Transitive writes through calls made inside the interval.
+		for _, cs := range node.Out {
+			if cs.Go || cs.Defer || cs.Pos <= s.interval.start || cs.Pos >= s.interval.end {
+				continue
+			}
+			step := m.stepf(cs.Pos, "%s calls %s", m.shortKey(s.key), m.shortKey(cs.Callee))
+			for _, e := range es.sums[cs.Callee] {
+				if e.epoch.typ != "" {
+					report(s, e, append([]string{step}, e.steps...))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// SARIF 2.1.0 output: the minimal static-analysis interchange shape
+// code-scanning UIs ingest — one run, the analyzer set as the driver's
+// rule metadata, each finding a result with a physical location. File
+// URIs are module-root-relative, and the JSON is rendered with sorted,
+// fixed field order so the artifact is byte-stable run to run.
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifRuleDesc struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri,omitempty"`
+	Rules          []sarifRuleDesc `json:"rules"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+// RenderSARIF renders the findings of one run as a SARIF 2.1.0 log.
+// The driver's rule table lists the analyzers that ran plus the
+// synthetic "ignore" rule (bare/stale directive findings carry it).
+func RenderSARIF(m *Module, analyzers []*Analyzer, fs []Finding) (string, error) {
+	rules := make([]sarifRuleDesc, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRuleDesc{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRuleDesc{
+		ID:               "ignore",
+		ShortDescription: sarifText{Text: "conflint:ignore directives must carry a reason and suppress a finding"},
+	})
+
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		uri := f.File
+		if rel, err := filepath.Rel(m.Root, f.File); err == nil {
+			uri = rel
+		}
+		msg := f.Message
+		if len(f.Witness) > 0 {
+			msg += "\n" + strings.Join(f.Witness, "\n")
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifText{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "conflint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}

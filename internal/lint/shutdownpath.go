@@ -89,11 +89,18 @@ type spState struct {
 	blocks map[string]*blockInfo
 }
 
-// ignored reports whether a reasoned conflint:ignore covers a position.
+// ignored reports whether a reasoned conflint:ignore covers a position,
+// marking the directive used (shutdownpath consumes directives at
+// source level, before finishRun's suppression pass, so it must feed
+// stale-ignore detection itself).
 func (sp *spState) ignored(pos token.Pos) bool {
 	p := sp.m.Fset.Position(pos)
-	reason, ok := sp.m.ignoreAt(p.Filename, p.Line)
-	return ok && reason != ""
+	info, line, ok := sp.m.ignoreAt(p.Filename, p.Line)
+	if !ok || info.reason == "" {
+		return false
+	}
+	sp.m.noteIgnoreUsed(p.Filename, line)
+	return true
 }
 
 // lastSelName returns the final name of an expression ("as.trigger" ->

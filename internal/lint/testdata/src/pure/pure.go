@@ -1,0 +1,48 @@
+// Fixture for the pure analyzer: functions declared pure via the
+// directive must be transitively effect-free. Each exemption (reads,
+// fresh locals, effects discharged into fresh allocations) sits next to
+// the violation it distinguishes itself from.
+package purefix
+
+type Registry struct {
+	entries map[string]int
+	n       int
+}
+
+var hits int
+
+// Size only reads: the contract's trivial case.
+//
+// conflint:pure
+func (r *Registry) Size() int { return r.n }
+
+// Clone writes only into a fresh local map: discharged, not an effect.
+//
+// conflint:pure
+func (r *Registry) Clone() map[string]int {
+	out := make(map[string]int, r.n)
+	for k, v := range r.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// BadWrite mutates its receiver directly.
+//
+// conflint:pure
+func (r *Registry) BadWrite(k string, v int) { // want "BadWrite is declared conflint:pure but has a side effect: writes r.entries"
+	r.entries[k] = v
+}
+
+func note() { hits++ }
+
+func tally() { note() }
+
+// BadTransitive reaches a global write two calls down: the effect must
+// be reported through the call chain.
+//
+// conflint:pure
+func (r *Registry) BadTransitive() int { // want "BadTransitive is declared conflint:pure but has a side effect: writes package-level fixture.hits"
+	tally()
+	return r.n
+}

@@ -1,0 +1,55 @@
+// Fixture for the readpath analyzer: while an RLock read session on an
+// epoch guard is open, no function in the session's call closure may
+// write a conflint:epoch field of that guard's struct.
+package readpathfix
+
+import "sync"
+
+type Store struct {
+	mu sync.RWMutex
+	// conflint:guardedby mu
+	catalog map[string]int // conflint:epoch
+	epoch   int64          // conflint:epochcounter
+}
+
+// Snapshot only reads under the read lock: the sanctioned session.
+func (s *Store) Snapshot() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int, len(s.catalog))
+	for k, v := range s.catalog {
+		out[k] = v
+	}
+	return out
+}
+
+// badInlineWrite mutates the epoch field inside its own read session.
+func (s *Store) badInlineWrite(k string, v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.catalog[k] = v // want "catalog is written while the RLock read session on fixture.Store.mu .held by fixture.Store.badInlineWrite. is open"
+	s.epoch++
+}
+
+// grow mutates the catalog for callers that hold the write lock; the
+// violation is calling it from a read session.
+func (s *Store) grow(k string) {
+	s.catalog[k] = 1 // want "catalog is written while the RLock read session on fixture.Store.mu .held by fixture.Store.BadTransitiveWrite. is open"
+	s.epoch++
+}
+
+// Resize takes the write lock: growing there is legitimate.
+func (s *Store) Resize(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grow(k)
+}
+
+// BadTransitiveWrite calls the mutator while its read session is open:
+// only the call chain makes the write visible.
+func (s *Store) BadTransitiveWrite(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.grow(k)
+	return len(s.catalog)
+}

@@ -152,7 +152,7 @@ func TestRepoParallelIdentical(t *testing.T) {
 		t.Fatalf("parallel run differs from sequential:\n%v\nvs\n%v", par, seq)
 	}
 	iters := m2.FixpointIters()
-	for _, rule := range []string{"epoch", "dettaint", "shutdownpath"} {
+	for _, rule := range []string{"epoch", "dettaint", "shutdownpath", "effects"} {
 		if iters[rule] < 1 {
 			t.Errorf("fixpoint for %s reported %d iterations; want >= 1", rule, iters[rule])
 		}

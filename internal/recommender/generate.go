@@ -57,6 +57,10 @@ func relevantColumns(q *sql.Query) []colSets {
 }
 
 // generate builds the per-query candidate list for the profile.
+//
+// conflint:pure — candidate generation is the search's enumeration
+// phase: it may read the profile but must build only fresh candidates
+// (scoring, which locks the engine via what-if, lives in greedy).
 func (r *Recommender) generate(q *sql.Query) []*candidate {
 	sets := relevantColumns(q)
 	seen := make(map[string]bool)
@@ -120,6 +124,8 @@ func (r *Recommender) generate(q *sql.Query) []*candidate {
 // projecting every column the query needs from the pair, plus an indexed
 // variant keyed on the pair's selection columns (paper Table 3: System C
 // recommended views over Lineitem ⋈ Partsupp with indexes on them).
+//
+// conflint:pure — same enumeration-phase contract as generate.
 func (r *Recommender) viewCandidates(q *sql.Query, sets []colSets) []*candidate {
 	// Skip self-joined queries: view matching would be ambiguous.
 	namesSeen := make(map[string]bool)

@@ -167,6 +167,9 @@ type Recommender struct {
 // fire/hold decision, and returns the first fired rule's target as the
 // proposal — skipping fired rules whose target is a no-op (already at
 // the proposed state).
+//
+// conflint:pure — the autoscaler's propose/apply split: proposing a
+// scale change must never mutate cluster state (only Updater.Apply may).
 func (r *Recommender) Recommend(cur State, w WindowMetrics) Recommendation {
 	rec := Recommendation{Window: w.Window, Decisions: make([]Decision, 0, len(r.Rules))}
 	for _, rule := range r.Rules {
