@@ -7,11 +7,18 @@
 //
 //   - a hash of every result's rendered bytes (must be identical at
 //     every shard count — the byte-identity contract),
-//   - total simulated seconds and the derived simulated-throughput
-//     (must scale monotonically with shard count: max-of-shards
-//     replaces sum-of-shards in the cost model),
-//   - wall-clock milliseconds (informational on one core; the ≥1.5×
-//     speedup at 4 shards is asserted only when GOMAXPROCS ≥ 4),
+//   - simulated seconds for one workload pass, the derived simulated
+//     throughput (must scale monotonically with shard count:
+//     max-of-shards replaces sum-of-shards in the cost model) and the
+//     simulated speedup over the 1-shard baseline (always reported —
+//     the machine-independent scaling number),
+//   - best-of-N wall-clock milliseconds over the repetitions
+//     (informational on one core; the ≥1.5× speedup at 4 shards is
+//     computed and asserted only when GOMAXPROCS ≥ 4),
+//   - the count of coordinator-serial fallbacks, which must be zero:
+//     every workload query — self-joins and key-mismatched joins
+//     included — runs partition-parallel via partition-wise joins or
+//     cross-shard row exchange,
 //   - the coordinator-side goal level and recommended configuration
 //     (topology-invariant: E, H and recommendations always derive from
 //     the full coordinator data).
@@ -46,10 +53,11 @@ import (
 	"repro/internal/shard"
 )
 
-// workload is the fixed benchmark mix: multi-join aggregates with a
-// clear designated table, IN-subqueries with global HAVING sets, one
-// single-table scan, and one self-join-only query that exercises the
-// coordinator fallback at every topology.
+// workload is the fixed benchmark mix: multi-join aggregates
+// partition-wise on the native keys, a key-mismatched join that forces
+// a cross-shard row exchange, IN-subqueries with global HAVING sets,
+// single-table scans, and one self-join-only query that runs
+// partition-wise on the shared key.
 var workload = []string{
 	`SELECT t.lineage, COUNT(DISTINCT t2.nref_id)
 	 FROM source s, taxonomy t, taxonomy t2
@@ -74,13 +82,20 @@ var workload = []string{
 
 // topologyResult is one shard count's record in BENCH_shard.json.
 type topologyResult struct {
-	Shards     int     `json:"shards"`
-	Pool       int     `json:"pool"`
-	Queries    int     `json:"queries"`
-	Fallbacks  int64   `json:"fallbacks"`
+	Shards    int   `json:"shards"`
+	Pool      int   `json:"pool"`
+	Queries   int   `json:"queries"`
+	Fallbacks int64 `json:"fallbacks"`
+	// Exchanges counts queries that repartitioned at least one table.
+	Exchanges  int64   `json:"exchanges"`
 	ResultHash string  `json:"result_hash"`
 	SimSeconds float64 `json:"sim_seconds"`
 	SimQPS     float64 `json:"sim_qps"`
+	// SimSpeedup is this topology's simulated speedup over the 1-shard
+	// baseline — reported unconditionally (it does not depend on the
+	// machine), unlike the wall-clock figure.
+	SimSpeedup float64 `json:"sim_speedup"`
+	// WallMillis is the best (minimum) single-repetition wall time.
 	WallMillis float64 `json:"wall_ms"`
 	GoalLevel  float64 `json:"goal_level"`
 	RecHash    string  `json:"recommendation_hash"`
@@ -108,14 +123,18 @@ func main() {
 	mode := flag.String("mode", "hash", "partitioning mode (hash or range)")
 	pool := flag.Int("pool", 4, "worker-pool width per partition-parallel query")
 	shardList := flag.String("shards", "1,2,4,8", "comma-separated shard counts")
-	reps := flag.Int("reps", 3, "workload repetitions per topology")
-	smoke := flag.Bool("smoke", false, "CI preset: shards 1,4 and one repetition")
+	reps := flag.Int("reps", 3, "workload repetitions per topology (min 3: wall time is best-of-N)")
+	smoke := flag.Bool("smoke", false, "CI preset: shards 1,4")
 	out := flag.String("o", "BENCH_shard.json", "output file")
 	flag.Parse()
 
 	if *smoke {
 		*shardList = "1,4"
-		*reps = 1
+	}
+	// Wall time is best-of-N; fewer than 3 repetitions makes the minimum
+	// a noise sample, so the floor holds even in smoke mode.
+	if *reps < 3 {
+		*reps = 3
 	}
 	counts, err := parseCounts(*shardList)
 	if err != nil {
@@ -181,9 +200,10 @@ func run(scale float64, seed int64, mode string, pool int, counts []int, reps in
 			return fmt.Errorf("build %d-shard cluster: %w", n, err)
 		}
 		h := fnv.New64a()
-		var simSeconds float64
-		start := time.Now()
+		var simSeconds float64 // one workload pass (identical every rep: the sim clock is deterministic)
+		bestWall := time.Duration(0)
 		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
 			for i, q := range workload {
 				res, m, err := cl.Run(q, 0)
 				if err != nil {
@@ -191,11 +211,13 @@ func run(scale float64, seed int64, mode string, pool int, counts []int, reps in
 				}
 				if rep == 0 {
 					h.Write([]byte(render(res)))
+					simSeconds += m.Seconds
 				}
-				simSeconds += m.Seconds
+			}
+			if w := time.Since(start); rep == 0 || w < bestWall {
+				bestWall = w
 			}
 		}
-		wall := time.Since(start)
 
 		// The recommendation and goal level must be reproducible with the
 		// cluster live at this topology (they read the coordinator only).
@@ -210,17 +232,22 @@ func run(scale float64, seed int64, mode string, pool int, counts []int, reps in
 			Pool:       pool,
 			Queries:    len(workload) * reps,
 			Fallbacks:  st.Fallbacks,
+			Exchanges:  st.Exchanges,
 			ResultHash: fmt.Sprintf("%016x", h.Sum64()),
 			SimSeconds: simSeconds,
-			SimQPS:     float64(len(workload)*reps) / simSeconds,
-			WallMillis: float64(wall.Microseconds()) / 1000,
+			SimQPS:     float64(len(workload)) / simSeconds,
+			SimSpeedup: 1,
+			WallMillis: float64(bestWall.Microseconds()) / 1000,
 			GoalLevel:  goalLevel,
 			RecHash:    hashString(renderConfig(recAgain)),
 		}
+		if base := report.Topology; len(base) > 0 && simSeconds > 0 {
+			tr.SimSpeedup = base[0].SimSeconds / simSeconds
+		}
 		report.Topology = append(report.Topology, tr)
 		wallByShards[n] = tr.WallMillis
-		fmt.Printf("shardbench: %2d shards — sim %8.1fs (%6.4f q/s sim), wall %7.1fms, hash %s, %d fallbacks\n",
-			n, tr.SimSeconds, tr.SimQPS, tr.WallMillis, tr.ResultHash, tr.Fallbacks)
+		fmt.Printf("shardbench: %2d shards — sim %8.1fs (%6.4f q/s sim, %.2fx), wall %7.1fms best-of-%d, hash %s, %d fallbacks, %d exchanges\n",
+			n, tr.SimSeconds, tr.SimQPS, tr.SimSpeedup, tr.WallMillis, reps, tr.ResultHash, tr.Fallbacks, tr.Exchanges)
 	}
 
 	// Dry-run autoscaler demo over the largest topology: the observed
@@ -288,12 +315,23 @@ func check(r *benchReport, wall map[int]float64, cl *shard.Cluster, lastShards i
 				cur.SimQPS, cur.Shards, prev.SimQPS, prev.Shards))
 		}
 	}
-	if w1, ok1 := wall[1]; ok1 {
-		if w4, ok4 := wall[4]; ok4 && w4 > 0 {
-			r.WallSpeedup4 = w1 / w4
-			if runtime.GOMAXPROCS(0) >= 4 && r.WallSpeedup4 < 1.5 {
-				out = append(out, fmt.Sprintf("wall speedup at 4 shards is %.2fx, want >= 1.5x on %d cores",
-					r.WallSpeedup4, runtime.GOMAXPROCS(0)))
+	for _, tr := range r.Topology {
+		if tr.Fallbacks != 0 {
+			out = append(out, fmt.Sprintf("%d coordinator-serial fallbacks at %d shards, want 0 (partition-wise joins + row exchange cover the workload)",
+				tr.Fallbacks, tr.Shards))
+		}
+	}
+	// Wall clock is machine-dependent: both the JSON field and the
+	// assertion exist only when enough cores back the fan-out. The
+	// simulated speedup above is the portable scaling record.
+	if runtime.GOMAXPROCS(0) >= 4 {
+		if w1, ok1 := wall[1]; ok1 {
+			if w4, ok4 := wall[4]; ok4 && w4 > 0 {
+				r.WallSpeedup4 = w1 / w4
+				if r.WallSpeedup4 < 1.5 {
+					out = append(out, fmt.Sprintf("wall speedup at 4 shards is %.2fx, want >= 1.5x on %d cores",
+						r.WallSpeedup4, runtime.GOMAXPROCS(0)))
+				}
 			}
 		}
 	}

@@ -221,6 +221,10 @@ type BuildReport struct {
 	IndexBytes int64
 	// BuildSeconds is the simulated time to build all indexes and views.
 	BuildSeconds float64
+	// ViewSeconds is the portion of BuildSeconds spent materializing
+	// views. The sharded cluster needs the split: views stay global
+	// (coordinator-serial) while index builds scale out with partitions.
+	ViewSeconds float64
 	// Built, Kept and Dropped count structures (indexes plus views)
 	// constructed, carried over unchanged, and removed by the change —
 	// the "index churn" an online tuner pays per transition. ApplyConfig
@@ -243,7 +247,7 @@ func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 	e.views = nil
 	e.current = c.Clone()
 
-	var meter cost.Meter
+	var meter, viewMeter cost.Meter
 	var extraBytes int64
 
 	// Views first: view indexes may reference them.
@@ -253,6 +257,7 @@ func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 			return BuildReport{}, fmt.Errorf("engine: building %s: %w", vd.Name, err)
 		}
 		meter.Add(m)
+		viewMeter.Add(m)
 		e.views = append(e.views, vi)
 		extraBytes += int64(float64(vi.Heap.Bytes()) / e.ScaleFactor)
 	}
@@ -276,6 +281,7 @@ func (e *Engine) ApplyConfig(c conf.Configuration) (BuildReport, error) {
 		IndexBytes:   extraBytes,
 		Bytes:        e.baseBytes() + extraBytes,
 		BuildSeconds: e.Model.Seconds(&meter),
+		ViewSeconds:  e.Model.Seconds(&viewMeter),
 		Built:        len(c.Views) + len(c.Indexes),
 		Dropped:      dropped,
 	}

@@ -19,7 +19,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.configEpoch++
-	var meter cost.Meter
+	var meter, viewMeter cost.Meter
 	var nBuilt, nKept, nDropped int
 
 	// Views: keep unchanged definitions, build new ones. Drops cost one
@@ -44,12 +44,14 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 			return BuildReport{}, err
 		}
 		meter.Add(m)
+		viewMeter.Add(m)
 		e.views = append(e.views, vi)
 		nBuilt++
 	}
 	for _, v := range oldViews {
 		if !target.HasView(v.Def.Name) {
 			meter.FixedSeq++ // catalog update for the drop
+			viewMeter.FixedSeq++
 			nDropped++
 		}
 	}
@@ -119,6 +121,7 @@ func (e *Engine) Transition(target conf.Configuration) (BuildReport, error) {
 		IndexBytes:   extraBytes,
 		Bytes:        e.baseBytes() + extraBytes,
 		BuildSeconds: e.Model.Seconds(&meter),
+		ViewSeconds:  e.Model.Seconds(&viewMeter),
 		Built:        nBuilt,
 		Kept:         nKept,
 		Dropped:      nDropped,

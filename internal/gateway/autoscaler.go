@@ -47,6 +47,11 @@ type autoscaler struct {
 }
 
 func newAutoscaler(g *Gateway, cl *shard.Cluster) *autoscaler {
+	upd := shard.NewUpdater(cl, shard.Bounds{
+		MinShards: g.cfg.MinShards, MaxShards: g.cfg.MaxShards,
+		MinPool: g.cfg.MinPool, MaxPool: g.cfg.MaxPool,
+	}, g.cfg.AutoscaleDryRun)
+	upd.Cooldown = g.cfg.AutoscaleCooldown
 	return &autoscaler{
 		g:    g,
 		cl:   cl,
@@ -55,10 +60,7 @@ func newAutoscaler(g *Gateway, cl *shard.Cluster) *autoscaler {
 			Rules:   shard.DefaultRules(g.cfg.AutoscaleTarget),
 			Predict: cl.PredictSeconds,
 		},
-		upd: shard.NewUpdater(cl, shard.Bounds{
-			MinShards: g.cfg.MinShards, MaxShards: g.cfg.MaxShards,
-			MinPool: g.cfg.MinPool, MaxPool: g.cfg.MaxPool,
-		}, g.cfg.AutoscaleDryRun),
+		upd:     upd,
 		entries: make([]windowEntry, 0, g.cfg.AutoscaleWindow),
 		trigger: make(chan struct{}, 1),
 		done:    make(chan struct{}),

@@ -59,6 +59,11 @@ type Config struct {
 	// AutoscaleTarget is the mean-latency target (simulated seconds) the
 	// default scaling rules aim for.
 	AutoscaleTarget float64 `json:"autoscale_target,omitempty"`
+	// AutoscaleCooldown is the updater's hysteresis window: after a scale
+	// action, proposals within this many windows are held (audited as
+	// "cooldown") instead of applied, damping oscillation while the
+	// cluster settles. Zero disables the cooldown.
+	AutoscaleCooldown int `json:"autoscale_cooldown,omitempty"`
 	// AutoscaleGoal is the goal curve windows are graded against, in
 	// core.ParseGoal format; empty means the paper's Example 2 goal.
 	AutoscaleGoal string `json:"autoscale_goal,omitempty"`
@@ -198,6 +203,9 @@ func (c *Config) Validate() (string, error) {
 		}
 		if c.AutoscaleTarget <= 0 {
 			return "", fmt.Errorf("gateway: autoscale_target must be positive, got %v", c.AutoscaleTarget)
+		}
+		if c.AutoscaleCooldown < 0 {
+			return "", fmt.Errorf("gateway: autoscale_cooldown must not be negative, got %d", c.AutoscaleCooldown)
 		}
 		if c.MaxShards > 0 && c.MinShards > c.MaxShards {
 			return "", fmt.Errorf("gateway: min_shards %d exceeds max_shards %d", c.MinShards, c.MaxShards)

@@ -139,7 +139,7 @@ func (s *search) covers(t int, ix *plan.IndexInfo) bool {
 // covering full-index scan, or an IN-set-driven index probe.
 func (s *search) bestAccessPath(t int) (cand, error) {
 	name := s.q.Tables[t].Table.Name
-	info := s.phys.Table(name)
+	info := s.phys.TableAt(t, name)
 	if info == nil {
 		return cand{}, errNoTable(name)
 	}
@@ -171,7 +171,7 @@ func (s *search) bestAccessPath(t int) (cand, error) {
 	seq.Est.Seconds = s.phys.Model.Seconds(&seq.Est.Meter)
 	best := cand{node: seq, est: seq.Est}
 
-	for _, ix := range sortedIndexes(s.phys.IndexesOn(name)) {
+	for _, ix := range sortedIndexes(s.phys.IndexesAt(t, name)) {
 		if c, ok := s.indexScanCand(t, info, ix, sels, ins); ok && c.est.Seconds < best.est.Seconds {
 			best = c
 		}
@@ -360,7 +360,7 @@ func trailingTable(mask uint32) int {
 func (s *search) joinKeyNDV(cols []sql.QCol) float64 {
 	ndv := 1.0
 	for i, c := range cols {
-		info := s.phys.Table(s.q.Tables[c.Tab].Table.Name)
+		info := s.phys.TableAt(c.Tab, s.q.Tables[c.Tab].Table.Name)
 		n := 10.0
 		if info != nil && info.Stats != nil {
 			n = float64(info.Stats.Cols[c.Col].NDV)
@@ -437,11 +437,11 @@ func (s *search) hashJoinCand(c1, c2 cand, m1, m2 uint32, lcols, rcols []sql.QCo
 // indexJoinCands builds index-nested-loop candidates joining the outer
 // subplan to inner table t2 through each usable index.
 func (s *search) indexJoinCands(outer cand, outerMask uint32, t2 int, lcols, rcols []sql.QCol) []cand {
-	info := s.phys.Table(s.q.Tables[t2].Table.Name)
+	info := s.phys.TableAt(t2, s.q.Tables[t2].Table.Name)
 	if info == nil {
 		return nil
 	}
-	ixs := sortedIndexes(s.phys.IndexesOn(info.Table.Name))
+	ixs := sortedIndexes(s.phys.IndexesAt(t2, info.Table.Name))
 	out := make([]cand, 0, len(ixs))
 	sels := s.sels[t2]
 	ins := s.ins[t2]

@@ -14,8 +14,8 @@ import (
 // applied before any heap fetch, and non-covered sides fetch only the
 // surviving rows, rid-sorted.
 func (s *search) mergeJoinCands(t1, t2 int, lc, rc sql.QCol) []cand {
-	info1 := s.phys.Table(s.q.Tables[t1].Table.Name)
-	info2 := s.phys.Table(s.q.Tables[t2].Table.Name)
+	info1 := s.phys.TableAt(t1, s.q.Tables[t1].Table.Name)
+	info2 := s.phys.TableAt(t2, s.q.Tables[t2].Table.Name)
 	if info1 == nil || info2 == nil {
 		return nil
 	}
@@ -27,13 +27,13 @@ func (s *search) mergeJoinCands(t1, t2 int, lc, rc sql.QCol) []cand {
 		return nil
 	}
 
-	ixs1 := sortedIndexes(s.phys.IndexesOn(info1.Table.Name))
+	ixs1 := sortedIndexes(s.phys.IndexesAt(t1, info1.Table.Name))
 	out := make([]cand, 0, len(ixs1))
 	for _, ix1 := range ixs1 {
 		if ix1.Cols[0] != lc.Col {
 			continue
 		}
-		for _, ix2 := range sortedIndexes(s.phys.IndexesOn(info2.Table.Name)) {
+		for _, ix2 := range sortedIndexes(s.phys.IndexesAt(t2, info2.Table.Name)) {
 			if ix2.Cols[0] != rc.Col {
 				continue
 			}

@@ -434,7 +434,7 @@ func (s *search) finalize(root cand) (plan.Node, plan.Est) {
 	var groupNDV float64 = 1
 	for i, g := range q.GroupBy {
 		groups[i] = s.layout.Offset(g)
-		info := s.phys.Table(q.Tables[g.Tab].Table.Name)
+		info := s.phys.TableAt(g.Tab, q.Tables[g.Tab].Table.Name)
 		nd := 10.0
 		if info != nil && info.Stats != nil {
 			nd = float64(info.Stats.Cols[g.Col].NDV)

@@ -80,6 +80,17 @@ type Physical struct {
 	// full-scale size exceeds it spill to disk.
 	Mem   int64
 	Model cost.Model
+
+	// TabTables and TabIndexes, when non-nil, override the name-keyed
+	// maps per query table ordinal. A sharded execution plans one query
+	// against a mix of placements — the same table name can be a
+	// partition slice for one ordinal (a partition-wise join side) and
+	// the coordinator's full data for another (a broadcast side) — which
+	// a name-keyed map cannot express. A nil entry falls back to the
+	// name lookup; a non-nil TabIndexes entry is authoritative even when
+	// empty (an exchanged relation has data but no indexes).
+	TabTables  []*TableInfo
+	TabIndexes [][]*IndexInfo
 }
 
 // Table returns the TableInfo for a base table name.
@@ -90,6 +101,25 @@ func (p *Physical) Table(name string) *TableInfo {
 // IndexesOn returns the indexes on the named relation.
 func (p *Physical) IndexesOn(name string) []*IndexInfo {
 	return p.Indexes[strings.ToLower(name)]
+}
+
+// TableAt returns the TableInfo for query table ordinal t, honoring the
+// per-ordinal override before the name lookup.
+func (p *Physical) TableAt(t int, name string) *TableInfo {
+	if t >= 0 && t < len(p.TabTables) && p.TabTables[t] != nil {
+		return p.TabTables[t]
+	}
+	return p.Table(name)
+}
+
+// IndexesAt returns the indexes usable for query table ordinal t,
+// honoring the per-ordinal override (including an empty "no indexes
+// here" override) before the name lookup.
+func (p *Physical) IndexesAt(t int, name string) []*IndexInfo {
+	if t >= 0 && t < len(p.TabIndexes) && p.TabIndexes[t] != nil {
+		return p.TabIndexes[t]
+	}
+	return p.IndexesOn(name)
 }
 
 // SortIndexes orders an index list by definition name in place. Builders

@@ -239,11 +239,12 @@ func max1(n int) int {
 
 // Action values of an AuditRecord.
 const (
-	ActionHold   = "hold"    // no proposal this window
-	ActionApply  = "apply"   // proposal applied to the cluster
-	ActionRefuse = "refuse"  // proposal outside bounds, not applied
-	ActionDryRun = "dry-run" // dry-run mode: audited, not applied
-	ActionError  = "error"   // apply attempted and failed
+	ActionHold     = "hold"     // no proposal this window
+	ActionApply    = "apply"    // proposal applied to the cluster
+	ActionRefuse   = "refuse"   // proposal outside bounds, not applied
+	ActionDryRun   = "dry-run"  // dry-run mode: audited, not applied
+	ActionError    = "error"    // apply attempted and failed
+	ActionCooldown = "cooldown" // proposal held: a recent action is still settling
 )
 
 // AuditRecord is the updater's trace of one recommendation.
@@ -264,9 +265,18 @@ type Updater struct {
 	Bounds Bounds
 	DryRun bool
 	Target *Cluster
+	// Cooldown is the hysteresis window: after an action (apply, dry-run,
+	// or a failed apply — anything that would have touched the cluster), a
+	// proposal arriving within Cooldown windows is held with
+	// ActionCooldown instead of applied. Metrics gathered while a reshard
+	// is still settling reflect the transition, not the steady state;
+	// acting on them oscillates. Zero or negative disables the cooldown.
+	Cooldown int
 
-	mu    sync.Mutex
-	audit []AuditRecord // conflint:guardedby mu
+	mu         sync.Mutex
+	audit      []AuditRecord // conflint:guardedby mu
+	lastAction int           // conflint:guardedby mu (window of the most recent action)
+	hasAction  bool          // conflint:guardedby mu
 }
 
 // NewUpdater builds an updater for a cluster.
@@ -275,29 +285,41 @@ func NewUpdater(target *Cluster, bounds Bounds, dryRun bool) *Updater {
 }
 
 // Apply executes (or audits) one recommendation and returns its audit
-// record.
+// record. The whole evaluation runs under u.mu so concurrent callers
+// serialize: the cooldown check, the action, and the audit append are
+// one atomic step (lock order Updater.mu → cluster locks; nothing takes
+// Updater.mu with a cluster lock held).
 func (u *Updater) Apply(rec Recommendation) AuditRecord {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	out := AuditRecord{Window: rec.Window, Action: ActionHold}
 	if p := rec.Proposal; p != nil {
 		out.Rule = p.Rule
 		out.Reason = p.Reason
 		out.Proposal = p
+		cooling := u.Cooldown > 0 && u.hasAction && rec.Window-u.lastAction <= u.Cooldown
 		if refusal := u.Bounds.check(State{Shards: p.ToShards, Pool: p.ToPool}); refusal != "" {
 			out.Action = ActionRefuse
 			out.Reason = refusal
+		} else if cooling {
+			out.Action = ActionCooldown
+			out.Reason = fmt.Sprintf("cooling down: last action at window %d, cooldown %d windows", u.lastAction, u.Cooldown)
 		} else if u.DryRun {
 			out.Action = ActionDryRun
+			u.lastAction, u.hasAction = rec.Window, true
 		} else {
 			out.Action = ActionApply
 			if err := u.applyProposal(p); err != nil {
 				out.Action = ActionError
 				out.Err = err.Error()
 			}
+			// Errored applies start the cooldown too: a failed reshard may
+			// have widened the pool, and retrying every window is the
+			// oscillation the cooldown exists to damp.
+			u.lastAction, u.hasAction = rec.Window, true
 		}
 	}
-	u.mu.Lock()
 	u.audit = append(u.audit, out)
-	u.mu.Unlock()
 	return out
 }
 

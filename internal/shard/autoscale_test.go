@@ -236,6 +236,103 @@ func TestUpdaterDryRun(t *testing.T) {
 	}
 }
 
+// TestUpdaterCooldown drives a fixed window sequence through an updater
+// with a 2-window cooldown and pins the resulting audit trail — the
+// hysteresis contract: actions start the cooldown, proposals inside it
+// are held with ActionCooldown, refusals and holds never start one.
+func TestUpdaterCooldown(t *testing.T) {
+	propose := func(w, toShards int) Recommendation {
+		return Recommendation{Window: w, Proposal: &Proposal{
+			Rule: "scale-out-goal", FromShards: 2, ToShards: toShards, FromPool: 4, ToPool: 4,
+			Reason: "goal_level < 0.9 (observed 0.5)",
+		}}
+	}
+	u := NewUpdater(nil, Bounds{MinShards: 1, MaxShards: 8, MinPool: 1, MaxPool: 16}, true)
+	u.Cooldown = 2
+
+	seq := []struct {
+		rec  Recommendation
+		want string
+	}{
+		{propose(1, 4), ActionDryRun},           // action: cooldown starts at window 1
+		{propose(2, 4), ActionCooldown},         // 2-1 <= 2: held
+		{Recommendation{Window: 3}, ActionHold}, // no proposal: plain hold, no cooldown reset
+		{propose(3, 4), ActionCooldown},         // 3-1 <= 2: still held
+		{propose(4, 4), ActionDryRun},           // 4-1 > 2: cooldown expired, acts again
+		{propose(5, 16), ActionRefuse},          // out of bounds: refused even though cooling
+		{propose(5, 99), ActionRefuse},          // refusals precede the cooldown check in the audit
+		{propose(7, 4), ActionDryRun},           // 7-4 > 2: refusals did not extend the cooldown
+		{propose(8, 4), ActionCooldown},         // the window-7 action did
+	}
+	for i, s := range seq {
+		if out := u.Apply(s.rec); out.Action != s.want {
+			t.Errorf("step %d (window %d): action %q, want %q", i, s.rec.Window, out.Action, s.want)
+		}
+	}
+
+	// Golden fixture: the full audit-trail action/reason sequence is the
+	// conformance contract downstream dashboards parse.
+	audit := u.Audit()
+	wantActions := []string{
+		ActionDryRun, ActionCooldown, ActionHold, ActionCooldown,
+		ActionDryRun, ActionRefuse, ActionRefuse, ActionDryRun, ActionCooldown,
+	}
+	if len(audit) != len(wantActions) {
+		t.Fatalf("%d audit records, want %d", len(audit), len(wantActions))
+	}
+	for i, a := range audit {
+		if a.Action != wantActions[i] {
+			t.Errorf("audit %d: action %q, want %q", i, a.Action, wantActions[i])
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(audit[1]); err != nil {
+		t.Fatal(err)
+	}
+	b := strings.TrimRight(buf.String(), "\n")
+	want := `{"window":2,"action":"cooldown","rule":"scale-out-goal",` +
+		`"reason":"cooling down: last action at window 1, cooldown 2 windows",` +
+		`"proposal":{"rule":"scale-out-goal","from_shards":2,"to_shards":4,"from_pool":4,"to_pool":4,` +
+		`"reason":"goal_level < 0.9 (observed 0.5)","predicted_seconds":0}}`
+	if b != want {
+		t.Errorf("cooldown audit JSON:\ngot  %s\nwant %s", b, want)
+	}
+
+	// Cooldown zero (the default) disables hysteresis entirely.
+	u2 := NewUpdater(nil, Bounds{MaxShards: 8, MaxPool: 16}, true)
+	for w := 1; w <= 3; w++ {
+		if out := u2.Apply(propose(w, 4)); out.Action != ActionDryRun {
+			t.Errorf("window %d without cooldown: action %q, want dry-run", w, out.Action)
+		}
+	}
+
+	// A live (non-dry-run) apply starts the cooldown and the held window
+	// leaves the cluster untouched.
+	coord := testCoord(t)
+	cl, err := New(coord, Spec{Shards: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u3 := NewUpdater(cl, Bounds{MinShards: 1, MaxShards: 8, MinPool: 1, MaxPool: 16}, false)
+	u3.Cooldown = 1
+	if out := u3.Apply(propose(1, 4)); out.Action != ActionApply {
+		t.Fatalf("live apply: %+v", out)
+	}
+	if out := u3.Apply(Recommendation{Window: 2, Proposal: &Proposal{
+		Rule: "scale-in-idle", FromShards: 4, ToShards: 2, FromPool: 4, ToPool: 4,
+	}}); out.Action != ActionCooldown {
+		t.Fatalf("cooling live proposal: %+v", out)
+	}
+	if cl.Shards() != 4 {
+		t.Errorf("cluster at %d shards, want 4 (cooldown must not apply)", cl.Shards())
+	}
+	if st := cl.Stats(); st.Reshards != 1 {
+		t.Errorf("Reshards = %d, want 1", st.Reshards)
+	}
+}
+
 // TestUpdaterApplies: outside dry-run, an in-bounds proposal reshards
 // the live cluster and results stay identical.
 func TestUpdaterApplies(t *testing.T) {

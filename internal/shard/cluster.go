@@ -2,7 +2,6 @@ package shard
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"repro/internal/catalog"
@@ -39,10 +38,9 @@ type Cluster struct {
 	// blocking queries, which only need mu for a snapshot.
 	reshardMu sync.Mutex
 
-	mu     sync.RWMutex
-	spec   Spec             // conflint:guardedby mu conflint:epoch
-	shards []*engine.Engine // conflint:guardedby mu conflint:epoch (nil for a 1-shard topology)
-	pool   int              // conflint:guardedby mu
+	mu   sync.RWMutex
+	top  *topology // conflint:guardedby mu conflint:epoch
+	pool int       // conflint:guardedby mu
 
 	statMu sync.Mutex
 	st     Stats // conflint:guardedby statMu
@@ -56,7 +54,8 @@ type Cluster struct {
 // max-shard-seconds × shard count).
 type Stats struct {
 	Queries       int64
-	Fallbacks     int64 // queries run coordinator-serial (view plans, self-joins)
+	Fallbacks     int64 // queries run coordinator-serial (plans reading materialized views)
+	Exchanges     int64 // queries that repartitioned at least one table via row exchange
 	Timeouts      int64
 	Reshards      int64
 	SerialSeconds float64
@@ -75,12 +74,12 @@ func New(coord *engine.Engine, spec Spec, pool int) (*Cluster, error) {
 	if pool < 1 {
 		pool = 1
 	}
-	c := &Cluster{coord: coord, spec: spec, pool: pool}
-	shards, err := c.buildShards(spec)
+	c := &Cluster{coord: coord, pool: pool}
+	top, err := c.buildTopology(spec)
 	if err != nil {
 		return nil, err
 	}
-	c.shards = shards
+	c.top = top
 	return c, nil
 }
 
@@ -89,11 +88,18 @@ func New(coord *engine.Engine, spec Spec, pool int) (*Cluster, error) {
 // topology-invariant: they are always computed against the full data).
 func (c *Cluster) Coordinator() *engine.Engine { return c.coord }
 
+// snapshot hands out the current topology generation and pool width.
+func (c *Cluster) snapshot() (*topology, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.top, c.pool
+}
+
 // Shards returns the current shard count.
 func (c *Cluster) Shards() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.spec.Shards
+	return c.top.spec.Shards
 }
 
 // Pool returns the current worker-pool width for partition fan-out.
@@ -118,7 +124,7 @@ func (c *Cluster) SetPool(n int) {
 func (c *Cluster) Spec() Spec {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.spec
+	return c.top.spec
 }
 
 // Stats returns a snapshot of the execution counters.
@@ -128,11 +134,23 @@ func (c *Cluster) Stats() Stats {
 	return c.st
 }
 
+// buildTopology constructs one immutable topology generation for a spec.
+func (c *Cluster) buildTopology(spec Spec) (*topology, error) {
+	shards, err := c.buildShards(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &topology{spec: spec, shards: shards}, nil
+}
+
 // buildShards constructs the partition engines for a spec: partition
-// every base table's rows, load them, collect statistics, and build the
-// coordinator's current base-table structures over each partition. Called
-// without c.mu held (the coordinator's heaps are append-only and only
-// mutated at load time, never while a cluster serves).
+// every base table's rows (one serial coordinator scan per table), then
+// load, collect statistics and build the coordinator's current
+// base-table structures per partition in parallel over the pool — the
+// transition-cost side of the scale-out: build work divides across
+// partitions. Called without c.mu held (the coordinator's heaps are
+// append-only and only mutated at load time, never while a cluster
+// serves).
 func (c *Cluster) buildShards(spec Spec) ([]*engine.Engine, error) {
 	if spec.Shards <= 1 {
 		return nil, nil // 1-shard topology serves straight from the coordinator
@@ -143,34 +161,46 @@ func (c *Cluster) buildShards(spec Spec) ([]*engine.Engine, error) {
 		sh.Model = c.coord.Model
 		shards[i] = sh
 	}
-	for _, t := range c.coord.Schema.Tables() {
+	type tablePart struct {
+		name    string
+		buckets [][]val.Row
+	}
+	tables := c.coord.Schema.Tables()
+	parts := make([]tablePart, 0, len(tables))
+	var rows []val.Row
+	collect := func(_ storage.RowID, r val.Row) bool {
+		rows = append(rows, r)
+		return true
+	}
+	for _, t := range tables {
 		h := c.coord.Heap(t.Name)
 		if h == nil {
 			return nil, fmt.Errorf("shard: coordinator has no heap for %s", t.Name)
 		}
-		rows := make([]val.Row, 0, h.NumRows())
-		h.Scan(nil, func(_ storage.RowID, r val.Row) bool {
-			rows = append(rows, r)
-			return true
-		})
+		rows = make([]val.Row, 0, h.NumRows())
+		h.Scan(nil, collect)
 		part := newPartitioner(spec, t, rows)
 		buckets := make([][]val.Row, spec.Shards)
 		for _, r := range rows {
 			s := part.locate(r)
 			buckets[s] = append(buckets[s], r)
 		}
-		for i, sh := range shards {
-			if err := sh.Load(t.Name, buckets[i]); err != nil {
-				return nil, err
-			}
-		}
+		parts = append(parts, tablePart{name: t.Name, buckets: buckets})
 	}
 	cfg := baseOnly(c.coord.Schema, c.coord.Current())
-	for _, sh := range shards {
-		sh.CollectStats()
-		if _, err := sh.ApplyConfig(cfg); err != nil {
-			return nil, err
+	runner := core.Runner{Parallelism: c.Pool()}
+	if err := runner.Each(len(shards), func(i int) error {
+		sh := shards[i]
+		for _, tp := range parts {
+			if err := sh.Load(tp.name, tp.buckets[i]); err != nil {
+				return err
+			}
 		}
+		sh.CollectStats()
+		_, err := sh.ApplyConfig(cfg)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return shards, nil
 }
@@ -190,9 +220,11 @@ func baseOnly(schema *catalog.Schema, cfg conf.Configuration) conf.Configuration
 }
 
 // Reshard rebuilds the cluster at a new shard count and swaps it in
-// live. Running queries keep their snapshot of the old topology; new
-// queries see the new one. The coordinator's what-if epoch is bumped so
-// cached H estimates never survive the topology change.
+// live. Running queries keep their snapshot of the old topology —
+// including its exchange-bucket cache, so a query never joins old
+// partitions against new-generation buckets; new queries see the new
+// generation. The coordinator's what-if epoch is bumped so cached H
+// estimates never survive the topology change.
 func (c *Cluster) Reshard(n int) error {
 	if n < 1 {
 		return fmt.Errorf("shard: cannot reshard to %d shards", n)
@@ -200,19 +232,18 @@ func (c *Cluster) Reshard(n int) error {
 	c.reshardMu.Lock()
 	defer c.reshardMu.Unlock()
 	c.mu.RLock()
-	spec := c.spec
+	spec := c.top.spec
 	c.mu.RUnlock()
 	if n == spec.Shards {
 		return nil
 	}
 	spec.Shards = n
-	shards, err := c.buildShards(spec)
+	top, err := c.buildTopology(spec)
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
-	c.spec = spec
-	c.shards = shards
+	c.top = top
 	c.mu.Unlock()
 	c.statMu.Lock()
 	c.st.Reshards++
@@ -222,8 +253,13 @@ func (c *Cluster) Reshard(n int) error {
 }
 
 // Transition applies a configuration change to the coordinator and every
-// partition (base-table structures only on partitions), reusing overlap
-// on each engine. The returned report is the coordinator's.
+// partition (base-table structures only on partitions, built in parallel
+// over the pool). The returned report is the coordinator's, with
+// BuildSeconds restated as the sharded transition cost: views are global
+// (coordinator-only), index builds run partition-parallel, so the
+// cluster pays the view time plus the slowest partition's build.
+// Exchange buckets hold base rows only and carry no indexes, so a
+// configuration change never invalidates them.
 func (c *Cluster) Transition(target conf.Configuration) (engine.BuildReport, error) {
 	c.reshardMu.Lock()
 	defer c.reshardMu.Unlock()
@@ -231,15 +267,27 @@ func (c *Cluster) Transition(target conf.Configuration) (engine.BuildReport, err
 	if err != nil {
 		return rep, err
 	}
-	c.mu.RLock()
-	shards := c.shards
-	c.mu.RUnlock()
+	top, pool := c.snapshot()
+	if top == nil || len(top.shards) == 0 {
+		return rep, nil
+	}
 	cfg := baseOnly(c.coord.Schema, target)
-	for _, sh := range shards {
-		if _, err := sh.Transition(cfg); err != nil {
-			return rep, err
+	reps := make([]engine.BuildReport, len(top.shards))
+	runner := core.Runner{Parallelism: pool}
+	if err := runner.Each(len(top.shards), func(i int) error {
+		r, terr := top.shards[i].Transition(cfg)
+		reps[i] = r
+		return terr
+	}); err != nil {
+		return rep, err
+	}
+	var slowest float64
+	for i := range reps {
+		if reps[i].BuildSeconds > slowest {
+			slowest = reps[i].BuildSeconds
 		}
 	}
+	rep.BuildSeconds = rep.ViewSeconds + slowest
 	return rep, nil
 }
 
@@ -255,22 +303,22 @@ func (c *Cluster) Run(sqlText string, limitSeconds float64) (*exec.Result, engin
 // RunAnalyzed executes an already-analyzed query across the partitions
 // and merges the results deterministically. The measure's Seconds is the
 // sharded simulated cost: IN-set computation (coordinator, once) + the
-// slowest partition + the merge. Plans that read materialized views, and
-// queries with no partitionable table (every table self-joined), fall
+// slowest partition (including its deterministic share of any row
+// exchange) + the merge. Placement comes from planPlacements — stored
+// partitions where the join graph aligns with the partition keys, row
+// exchange where it does not, broadcast elsewhere — so every join shape
+// runs partition-parallel. Only plans that read materialized views fall
 // back to coordinator-serial execution — identically at every shard
 // count, so results stay byte-identical across topologies.
 func (c *Cluster) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result, engine.Measure, error) {
-	c.mu.RLock()
-	shards := c.shards
-	pool := c.pool
-	nShards := c.spec.Shards
-	c.mu.RUnlock()
+	top, pool := c.snapshot()
 
-	if len(shards) == 0 {
+	if top == nil || len(top.shards) == 0 {
 		res, m, err := c.coord.RunAnalyzed(q, limitSeconds)
-		c.note(m, 0, m.Seconds, false)
+		c.note(m, 0, m.Seconds, false, false)
 		return res, m, err
 	}
+	nShards := top.spec.Shards
 
 	opts := c.coord.Profile.Opts
 	coordPhys := c.coord.Physical()
@@ -278,12 +326,12 @@ func (c *Cluster) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result,
 	if err != nil {
 		return nil, engine.Measure{}, err
 	}
-	designated, ok := designate(q, coordPhys)
-	if !ok || planUsesView(coordPlan.Root) {
+	if planUsesView(coordPlan.Root) {
 		res, m, err := c.coord.RunAnalyzed(q, limitSeconds)
-		c.note(m, 0, m.Seconds, true)
+		c.note(m, 0, m.Seconds, true, false)
 		return res, m, err
 	}
+	placements, exchanged := planPlacements(q, coordPhys, top.spec)
 
 	sqlText := q.SQL()
 
@@ -294,28 +342,37 @@ func (c *Cluster) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result,
 	if err != nil {
 		if err == exec.ErrTimeout {
 			m := engine.Measure{SQL: sqlText, Seconds: limitSeconds, TimedOut: true, Meter: insetCtx.Meter}
-			c.note(m, 0, 0, false)
+			c.note(m, 0, 0, false, false)
 			return nil, m, nil
 		}
 		return nil, engine.Measure{}, err
 	}
 
 	// Phase 2 (parallel): each partition plans against a hybrid physical
-	// — the designated table and its indexes from the partition,
-	// everything else from the coordinator — and produces a mergeable
-	// partial. Indexed fan-out; errors resolve to the lowest index.
+	// — native ordinals bound to the partition's tables and indexes,
+	// exchanged ordinals to repartitioned buckets, the rest reading the
+	// coordinator — and produces a mergeable partial. Exchange cost is
+	// billed into the shard's meter up front as a fixed function of
+	// coordinator statistics, so simulated seconds stay pool-invariant.
+	// Indexed fan-out; errors resolve to the lowest index.
 	shardOpts := opts
 	shardOpts.NoViews = true
-	partials := make([]*exec.Partial, len(shards))
-	meters := make([]exec.Ctx, len(shards))
+	partials := make([]*exec.Partial, len(top.shards))
+	meters := make([]exec.Ctx, len(top.shards))
 	runner := core.Runner{Parallelism: pool}
-	err = runner.Each(len(shards), func(i int) error {
-		hybrid := hybridPhysical(coordPhys, shards[i].Physical(), designated)
+	err = runner.Each(len(top.shards), func(i int) error {
+		hybrid, herr := top.shardPhysical(coordPhys, q, placements, i)
+		if herr != nil {
+			return herr
+		}
 		p, perr := optimizer.Optimize(hybrid, q, shardOpts)
 		if perr != nil {
 			return perr
 		}
 		ctx := &exec.Ctx{Model: c.coord.Model, LimitSeconds: limitSeconds, Preset: preset}
+		for _, k := range exchanged {
+			billExchange(&ctx.Meter, coordPhys.Table(k.table), nShards)
+		}
 		part, rerr := exec.RunPartial(p, ctx)
 		meters[i] = *ctx
 		if rerr != nil {
@@ -327,7 +384,7 @@ func (c *Cluster) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result,
 	if err != nil {
 		if err == exec.ErrTimeout {
 			m := timeoutMeasure(sqlText, limitSeconds, insetCtx, meters)
-			c.note(m, 0, 0, false)
+			c.note(m, 0, 0, false, false)
 			return nil, m, nil
 		}
 		return nil, engine.Measure{}, err
@@ -339,7 +396,7 @@ func (c *Cluster) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result,
 	if err != nil {
 		if err == exec.ErrTimeout {
 			m := timeoutMeasure(sqlText, limitSeconds, insetCtx, meters)
-			c.note(m, 0, 0, false)
+			c.note(m, 0, 0, false, false)
 			return nil, m, nil
 		}
 		return nil, engine.Measure{}, err
@@ -360,17 +417,20 @@ func (c *Cluster) RunAnalyzed(q *sql.Query, limitSeconds float64) (*exec.Result,
 		m.TimedOut = true
 		m.Seconds = limitSeconds
 	}
-	c.note(m, slowest*float64(nShards), serial, false)
+	c.note(m, slowest*float64(nShards), serial, false, len(exchanged) > 0)
 	return res, m, nil
 }
 
 // note folds one query's cost split into the counters.
-func (c *Cluster) note(m engine.Measure, parallelWork, serialSeconds float64, fallback bool) {
+func (c *Cluster) note(m engine.Measure, parallelWork, serialSeconds float64, fallback, exchanged bool) {
 	c.statMu.Lock()
 	defer c.statMu.Unlock()
 	c.st.Queries++
 	if fallback {
 		c.st.Fallbacks++
+	}
+	if exchanged {
+		c.st.Exchanges++
 	}
 	if m.TimedOut {
 		c.st.Timeouts++
@@ -407,32 +467,64 @@ func (c *Cluster) PredictSeconds(targetShards int) float64 {
 	return st.SerialSeconds/q + st.ParallelWork/q/float64(targetShards)
 }
 
-// designate picks the partitioned table for a query: the largest base
-// table (coordinator row count) referenced exactly once in FROM; ties
-// break to the lowest table ordinal. Self-joined tables are ineligible —
-// both sides would read the same partition and lose cross-partition
-// pairs — as are views. Returns false when no table qualifies.
-func designate(q *sql.Query, phys *plan.Physical) (string, bool) {
-	refs := make(map[string]int, len(q.Tables))
-	for _, t := range q.Tables {
-		refs[strings.ToLower(t.Table.Name)]++
+// PartitionPhysical returns partition i's physical description — its
+// heap slice, partition statistics and partitioned indexes. A 1-shard
+// topology exposes the coordinator as partition 0. The what-if layer
+// costs against these to see partition cardinalities; recommendations
+// themselves stay topology-invariant (they are computed on the
+// coordinator's full data).
+func (c *Cluster) PartitionPhysical(i int) (*plan.Physical, error) {
+	top, _ := c.snapshot()
+	if top == nil || len(top.shards) == 0 {
+		if i == 0 {
+			return c.coord.Physical(), nil
+		}
+		return nil, fmt.Errorf("shard: no partition %d in a 1-shard topology", i)
 	}
-	best := ""
-	var bestRows int64 = -1
-	for _, t := range q.Tables {
-		name := strings.ToLower(t.Table.Name)
-		if refs[name] != 1 {
-			continue
-		}
-		ti := phys.Tables[name]
-		if ti == nil {
-			continue
-		}
-		if rows := ti.Heap.NumRows(); rows > bestRows {
-			best, bestRows = name, rows
-		}
+	if i < 0 || i >= len(top.shards) {
+		return nil, fmt.Errorf("shard: no partition %d in a %d-shard topology", i, len(top.shards))
 	}
-	return best, best != ""
+	return top.shards[i].Physical(), nil
+}
+
+// EstimateSharded optimizes a query once per partition — against the
+// same hybrid physical descriptions (native partitions, exchange
+// buckets, broadcast coordinator tables) RunAnalyzed executes with — and
+// returns the per-partition optimizer estimates. This is the what-if
+// surface for partition statistics: the coordinator's estimate answers
+// "what would this cost unsharded", EstimateSharded answers "what does
+// each partition think it will pay". A 1-shard topology returns the
+// coordinator's single estimate.
+func (c *Cluster) EstimateSharded(sqlText string) ([]engine.Measure, error) {
+	q, err := c.coord.AnalyzeSQL(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	top, _ := c.snapshot()
+	if top == nil || len(top.shards) == 0 {
+		m, err := c.coord.Estimate(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		return []engine.Measure{m}, nil
+	}
+	coordPhys := c.coord.Physical()
+	placements, _ := planPlacements(q, coordPhys, top.spec)
+	shardOpts := c.coord.Profile.Opts
+	shardOpts.NoViews = true
+	out := make([]engine.Measure, len(top.shards))
+	for i := range top.shards {
+		hybrid, err := top.shardPhysical(coordPhys, q, placements, i)
+		if err != nil {
+			return nil, err
+		}
+		p, err := optimizer.Optimize(hybrid, q, shardOpts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = engine.Measure{SQL: sqlText, Seconds: p.Est.Seconds, Meter: p.Est.Meter}
+	}
+	return out, nil
 }
 
 // planUsesView reports whether any operator in the tree reads a
@@ -451,31 +543,4 @@ func planUsesView(n plan.Node) bool {
 		return planUsesView(n.Input)
 	}
 	return false
-}
-
-// hybridPhysical assembles the physical description one partition plans
-// against: the designated table (data, stats and indexes) from the
-// partition engine; every other table from the coordinator; no views
-// (view-reading plans never reach here). View-relation index lists are
-// dropped with the views.
-func hybridPhysical(coord, shard *plan.Physical, designated string) *plan.Physical {
-	h := &plan.Physical{
-		Schema:  coord.Schema,
-		Tables:  make(map[string]*plan.TableInfo, len(coord.Tables)),
-		Indexes: make(map[string][]*plan.IndexInfo, len(coord.Indexes)),
-		Mem:     coord.Mem,
-		Model:   coord.Model,
-	}
-	for name, ti := range coord.Tables {
-		h.Tables[name] = ti
-	}
-	h.Tables[designated] = shard.Tables[designated]
-	for name, ixs := range coord.Indexes {
-		if coord.Schema.Table(name) == nil {
-			continue // view index: dropped with the view
-		}
-		h.Indexes[name] = ixs
-	}
-	h.Indexes[designated] = shard.Indexes[designated]
-	return h
 }

@@ -26,8 +26,9 @@ func testCoord(t *testing.T) *engine.Engine {
 	return e
 }
 
-// clusterQueries exercise single tables, selections, self-joins (the
-// serial-fallback path), 2- and 3-way joins, IN subqueries and every
+// clusterQueries exercise single tables, selections, self-joins
+// (partition-wise on the shared key), key-mismatched joins (the
+// row-exchange path), 2- and 3-way joins, IN subqueries and every
 // aggregate kind.
 var clusterQueries = []string{
 	`SELECT t.lineage, COUNT(DISTINCT t2.nref_id)
@@ -50,8 +51,9 @@ var clusterQueries = []string{
 	 GROUP BY r.taxon_id`,
 	`SELECT source, MIN(taxon_id), MAX(taxon_id), SUM(p_id), AVG(p_id), COUNT(p_id)
 	 FROM source GROUP BY source`,
-	// Purely self-joined FROM list: no partitionable table, coordinator
-	// fallback must still be byte-identical at every topology.
+	// Purely self-joined FROM list: both sides read the same stored
+	// partition (partition-wise join on the shared key) and must still be
+	// byte-identical at every topology.
 	`SELECT t.taxon_id, COUNT(*) FROM taxonomy t, taxonomy t2
 	 WHERE t.nref_id = t2.nref_id GROUP BY t.taxon_id`,
 }
@@ -117,10 +119,9 @@ func TestResultsByteIdenticalAcrossTopologies(t *testing.T) {
 	}
 }
 
-// TestFallbackPaths pins the two coordinator-serial fallbacks: plans
-// that read a materialized view, and queries with no partitionable
-// table. Both count as fallbacks and still match the engine's own
-// execution bytes.
+// TestFallbackPaths pins the one remaining coordinator-serial fallback
+// — plans that read a materialized view — and that self-joins, formerly
+// a fallback, now run partition-parallel without one.
 func TestFallbackPaths(t *testing.T) {
 	// System C is the profile that plans over materialized views. The
 	// configuration holds ONLY the view and its index, so the view is the
@@ -146,28 +147,47 @@ func TestFallbackPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	viewQ := `SELECT taxon_id, COUNT(*) FROM taxonomy WHERE nref_id = 'NF0000041' GROUP BY taxon_id`
+	wantRes, wantM, err := coord.Run(viewQ, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, gotM, err := cl.Run(viewQ, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(gotRes) != render(wantRes) {
+		t.Errorf("fallback result differs from engine for %q", viewQ)
+	}
+	if gotM.Seconds != wantM.Seconds {
+		t.Errorf("fallback seconds %v != engine seconds %v for %q", gotM.Seconds, wantM.Seconds, viewQ)
+	}
+	if st := cl.Stats(); st.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", st.Fallbacks)
+	}
+
+	// Self-joins run partition-wise now (both ordinals read the same
+	// stored partition on the shared key): no fallback, identical bytes.
+	coordB := testCoord(t)
+	clB, err := New(coordB, Spec{Shards: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	selfJoin := `SELECT t.taxon_id, COUNT(*) FROM taxonomy t, taxonomy t2
 	 WHERE t.nref_id = t2.nref_id GROUP BY t.taxon_id`
-	viewQ := `SELECT taxon_id, COUNT(*) FROM taxonomy WHERE nref_id = 'NF0000041' GROUP BY taxon_id`
-
-	for _, q := range []string{selfJoin, viewQ} {
-		wantRes, wantM, err := coord.Run(q, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gotRes, gotM, err := cl.Run(q, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if render(gotRes) != render(wantRes) {
-			t.Errorf("fallback result differs from engine for %q", q)
-		}
-		if gotM.Seconds != wantM.Seconds {
-			t.Errorf("fallback seconds %v != engine seconds %v for %q", gotM.Seconds, wantM.Seconds, q)
-		}
+	wantRes2, _, err := coordB.Run(selfJoin, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if st := cl.Stats(); st.Fallbacks != 2 {
-		t.Errorf("Fallbacks = %d, want 2", st.Fallbacks)
+	gotRes2, _, err := clB.Run(selfJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(gotRes2) != render(wantRes2) {
+		t.Errorf("self-join result differs from engine for %q", selfJoin)
+	}
+	if st := clB.Stats(); st.Fallbacks != 0 {
+		t.Errorf("self-join Fallbacks = %d, want 0 (partition-wise path)", st.Fallbacks)
 	}
 }
 
@@ -191,7 +211,7 @@ func TestTransitionPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl.mu.RLock()
-	shards := cl.shards
+	shards := cl.top.shards
 	cl.mu.RUnlock()
 	for i, sh := range shards {
 		if got := len(sh.Current().Indexes); got != len(baseOnly(coord.Schema, target).Indexes) {

@@ -62,13 +62,20 @@ func TestFiveFamiliesByteIdenticalAcrossTopologies(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%d: %v", family, n, err)
 			}
-			for i, q := range sqls {
-				res, _, err := cl.Run(q, 0)
-				if err != nil {
-					t.Fatalf("%s/%d: query %d: %v", family, n, i, err)
-				}
-				if got := render(res); got != want[i] {
-					t.Errorf("%s/%d: query %d result differs from 1-shard baseline", family, n, i)
+			// Pool width only changes how many partitions execute
+			// concurrently, never which rows a partition sees or how
+			// partials merge — results must be byte-identical at any
+			// worker-pool size, including a fully serialized pool of 1.
+			for _, pool := range []int{1, 4, 16} {
+				cl.SetPool(pool)
+				for i, q := range sqls {
+					res, _, err := cl.Run(q, 0)
+					if err != nil {
+						t.Fatalf("%s/%d/pool=%d: query %d: %v", family, n, pool, i, err)
+					}
+					if got := render(res); got != want[i] {
+						t.Errorf("%s/%d/pool=%d: query %d result differs from 1-shard baseline", family, n, pool, i)
+					}
 				}
 			}
 			if got := goalReport(); got != wantGoal {

@@ -20,7 +20,15 @@ func TestClusterRaceStress(t *testing.T) {
 	u := NewUpdater(cl, Bounds{MinShards: 1, MaxShards: 8, MinPool: 1, MaxPool: 16}, true)
 	r := &Recommender{Rules: DefaultRules(10), Predict: cl.PredictSeconds}
 
-	queries := []string{clusterQueries[1], clusterQueries[2], clusterQueries[3], clusterQueries[6]}
+	// The mix deliberately includes the exchange path: [0] is the
+	// key-mismatched self-alias join (taxonomy⋈taxonomy on lineage) and
+	// [4] joins organism⋈taxonomy on taxon_id, neither side native — both
+	// repartition rows through the topology's exchange cache while other
+	// goroutines Reshard underneath them.
+	queries := []string{
+		clusterQueries[0], clusterQueries[1], clusterQueries[2],
+		clusterQueries[3], clusterQueries[4], clusterQueries[6],
+	}
 	const goroutines = 32
 	const iters = 6
 

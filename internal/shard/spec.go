@@ -8,12 +8,16 @@
 // Partitioning model: every base table is split row-wise by a partition
 // key — hash (FNV-1a over the key value's canonical encoding) or key
 // range (boundaries at the value quantiles of the coordinator's data).
-// Per query, exactly one table — the designated table, chosen as the
-// largest table referenced exactly once — reads its partition on each
-// shard while all other tables read the coordinator's full data. Since
-// joins distribute over a union on one side, the union of the per-shard
-// results is exactly the unpartitioned result; aggregates merge through
-// open group states (exec.RunPartial / exec.MergePartials).
+// Per query, a placement planner (exchange.go) co-partitions one
+// connected component of the join graph: ordinals whose partition
+// column is their table's stored key read their partition natively
+// (partition-wise join), the rest are repartitioned by a cross-shard
+// row exchange on the join column, and every table outside the
+// component is broadcast (reads the coordinator's full data). Equal
+// join keys therefore land on the same shard, so the union of the
+// per-shard results is exactly the unpartitioned result; aggregates
+// merge through open group states (exec.RunPartial /
+// exec.MergePartials).
 //
 // The package also houses the elastic resource autoscaler (autoscale.go):
 // a recommender deriving shard-count and pool-width proposals from
@@ -147,7 +151,19 @@ func (p *partitioner) locate(r val.Row) int {
 		i := sort.Search(len(p.bounds), func(i int) bool { return val.Compare(v, p.bounds[i]) < 0 })
 		return i
 	}
+	return hashShard(v, p.n)
+}
+
+// hashShard is the one hash-partitioning function of the package: FNV-1a
+// over the value's canonical row encoding, mod n, with NULL pinned to
+// shard 0. The stored hash partitions and the per-query row exchange
+// must agree on it — a native side and an exchanged side of a join
+// co-locate equal keys only because both route through hashShard.
+func hashShard(v val.Value, n int) int {
+	if n <= 1 || v.IsNull() {
+		return 0
+	}
 	h := fnv.New64a()
 	h.Write([]byte(val.Row{v}.Key()))
-	return int(h.Sum64() % uint64(p.n))
+	return int(h.Sum64() % uint64(n))
 }
